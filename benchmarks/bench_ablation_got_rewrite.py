@@ -1,0 +1,62 @@
+"""Ablation: is the GOT rewrite (LDG -> LDGI) actually load-bearing?
+
+The §III-B static modification redirects GOT accesses through the
+pointer shipped in the message.  Without it, injected code computes its
+GOT address PC-relative to wherever it happens to land — i.e. into
+arbitrary mailbox bytes.  This bench shows (a) the rewritten jam works,
+(b) the *unrewritten* binary injected verbatim faults or misresolves,
+and times the toolchain's rewrite pass itself.
+"""
+
+import pytest
+
+from repro.amc import compile_amc
+from repro.core import count_got_accesses, rewrite_got_accesses
+from repro.core.stdjams import JAM_INDIRECT_PUT
+from repro.errors import ReproError
+from repro.isa import Op
+
+
+def test_ablation_got_rewrite(benchmark):
+    om = compile_amc(JAM_INDIRECT_PUT.source).module
+    ldg_before, _ = count_got_accesses(om.text)
+    assert ldg_before > 0, "jam must use the GOT for this ablation"
+
+    patched = benchmark.pedantic(
+        lambda: rewrite_got_accesses(om.text), rounds=20, iterations=5)
+    assert count_got_accesses(patched) == (0, ldg_before)
+    assert len(patched) == len(om.text)  # same-size in-place patch
+
+    # Functional necessity: run both forms from a mailbox-like location.
+    from repro.isa import Vm, decode_program
+    from repro.machine import PROT_RW, PROT_RWX
+    from tests.util import fresh_node
+
+    _, node = fresh_node()
+    got = node.map_region(len(om.externs) * 8, PROT_RW)
+    region = node.map_region(8 + len(om.text), PROT_RWX, align=4096)
+    node.mem.write_u64(region, got)          # GOTP cell
+    payload = node.map_region(64, PROT_RW)
+    # resolve the jam's externs against native intrinsics where possible,
+    # dummy RW cells otherwise
+    vm = Vm(node)
+    from repro.isa import native_address
+    for slot, name in enumerate(om.externs):
+        idx = vm.intrinsics.index_of(name)
+        addr = (native_address(idx) if idx is not None
+                else node.map_region(1 << 14, PROT_RW))
+        node.mem.write_u64(got + slot * 8, addr)
+
+    # (a) rewritten code executes correctly from the arbitrary location
+    node.mem.write(region + 8, patched)
+    ok = vm.call(region + 8, (payload, 16, 42, 0))
+    assert ok.ret >= 0
+
+    # (b) unrewritten code must NOT work: its LDG reads a PC-relative
+    # "GOT" that is whatever bytes surround the mailbox.
+    node.mem.write(region + 8, om.text)
+    with pytest.raises(Exception):
+        bad = vm.call(region + 8, (payload, 16, 42, 0), max_steps=100_000)
+        # if it *didn't* fault it must at least have read garbage
+        if bad.ret == ok.ret:
+            raise ReproError("unrewritten injection accidentally worked")

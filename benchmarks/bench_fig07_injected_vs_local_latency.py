@@ -1,0 +1,33 @@
+"""Fig 7: Indirect Put latency, Injected vs Local Function invocation.
+
+Paper: ~40% worse latency at small payloads (the injected message carries
+1408 B of code), converging toward zero by 1024 integers; small bumps
+where the injected size crosses a UCX protocol threshold.  Server-Side
+Sum (smaller code) converges sooner, around 64 integers."""
+
+from repro.bench.figures import fig7_injected_vs_local_latency
+
+
+def test_fig7_indirect_put(figure):
+    result = figure(fig7_injected_vs_local_latency)
+    loss = result.series["loss_pct"]
+    # Starts high...
+    assert loss[0] >= 15.0
+    # ...and converges with payload size.
+    assert loss[-1] < loss[0] / 2
+    assert loss[-1] <= 15.0
+
+
+def test_fig7_sum_converges_sooner(figure):
+    ssum = figure(fig7_injected_vs_local_latency, jam="jam_ss_sum")
+    # the comparison sweep runs outside the benchmark fixture (it may
+    # only time one callable)
+    import benchmarks.conftest as cfg
+    iput = fig7_injected_vs_local_latency(fast=not cfg.FULL,
+                                          jam="jam_indirect_put")
+    # The sum jam ships ~3x less code: its overhead is smaller everywhere
+    # and negligible much earlier (paper: ~64 ints vs 1024 ints).
+    for s_loss, i_loss in zip(ssum.series["loss_pct"],
+                              iput.series["loss_pct"]):
+        assert s_loss < i_loss
+    assert ssum.series["loss_pct"][1] <= 10.0  # already small by ~16 ints

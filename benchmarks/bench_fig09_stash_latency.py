@@ -1,0 +1,19 @@
+"""Fig 9: Indirect Put latency with LLC stashing on vs off.
+
+Paper: stashing the message code+data into the LLC cuts latency by up to
+31%; the advantage narrows once messages are large enough for the
+prefetcher to mask DRAM latency."""
+
+from repro.bench.figures import fig9_stash_latency
+
+
+def test_fig9_stash_latency(figure):
+    result = figure(fig9_stash_latency)
+    red = result.series["reduction_pct"]
+    # Stashing always helps...
+    assert min(red) > 0.0
+    # ...by a magnitude comparable to the paper's 31% maximum.
+    assert 10.0 <= max(red) <= 45.0
+    # ...and the benefit at the largest payload is below the peak
+    # (prefetcher narrowing).
+    assert red[-1] <= max(red)

@@ -1,0 +1,20 @@
+"""Fig 11: Indirect Put tail latency on a fully loaded system.
+
+Paper: with stress-ng thrashing memory on every core, LLC stashing keeps
+the p99.9 tail up to 2.4x lower; the stash tail-spread peaks at 182%
+while non-stashing behaves erratically."""
+
+from repro.bench.figures import fig11_tail_indirect
+
+
+def test_fig11_tail_indirect(figure):
+    result = figure(fig11_tail_indirect)
+    # Stash tails are significantly better (paper: up to 2.4x).
+    assert result.metrics["max_tail_improvement"] >= 1.4
+    assert result.metrics["max_tail_improvement"] <= 8.0
+    # The stash latency distribution is the tighter one at every size.
+    for st, ns in zip(result.series["stash_p999"],
+                      result.series["nonstash_p999"]):
+        assert st < ns
+    # Stash spread stays bounded in the paper's neighbourhood (<=182%).
+    assert result.metrics["stash_spread_peak_pct"] <= 260.0

@@ -1,0 +1,32 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each ``bench_fig*.py`` regenerates one figure from §VII of the paper:
+it runs the same sweep (shrunk via ``fast=True`` to keep the suite quick;
+set ``REPRO_FULL_SWEEPS=1`` for the full axes recorded in EXPERIMENTS.md),
+prints the series as a table, asserts the paper's qualitative shape, and
+reports wall-clock time through pytest-benchmark.
+"""
+
+import os
+
+import pytest
+
+FULL = bool(int(os.environ.get("REPRO_FULL_SWEEPS", "0")))
+
+
+def run_figure(benchmark, fig_fn, **kwargs):
+    """Run a figure driver once under pytest-benchmark and print it."""
+    from repro.bench.report import render_figure
+
+    result = benchmark.pedantic(
+        lambda: fig_fn(fast=not FULL, **kwargs), rounds=1, iterations=1)
+    print()
+    print(render_figure(result))
+    return result
+
+
+@pytest.fixture
+def figure(benchmark):
+    def _run(fig_fn, **kwargs):
+        return run_figure(benchmark, fig_fn, **kwargs)
+    return _run

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Per-process name binding: the same jam behaves differently per receiver.
+
+§IV: Two-Chains is not SPMD — "a program can easily define different
+functions with the same symbolic name for different processes, so that
+when a message arrives it will call a function specific to that process,
+much like function overloading."
+
+Here both nodes load the same package, but each process first loads its
+own tiny library defining ``transform`` differently (double vs negate).
+The *identical* injected jam calls ``transform`` through the GOT, so the
+result depends on where it lands — resolved by each process's namespace
+at package-load time, with no registry anywhere.
+
+Run:  python examples/function_overloading.py
+"""
+
+from repro.core import (
+    JamSource,
+    RiedSource,
+    TwoChainsRuntime,
+    build_package,
+    connect_runtimes,
+)
+from repro.elf import build_shared_object
+from repro.isa import assemble
+from repro.machine import PROT_RW
+from repro.rdma import Testbed
+
+RIED = RiedSource("ried_out", """
+    long last_result = 0;
+    long result() { return last_result; }
+""")
+
+JAM = JamSource("jam_apply", """
+    extern long transform(long x);
+    extern long last_result;
+
+    long jam_apply(long* payload, long nbytes, long a0, long a1) {
+        last_result = transform(payload[0]);
+        return last_result;
+    }
+""")
+
+# Each process defines `transform` its own way (here: raw assembly
+# libraries, to show interop with non-AMC code as well).
+DOUBLER = """
+    .global transform
+    transform:
+        add a0, a0, a0
+        ret
+"""
+NEGATOR = """
+    .global transform
+    transform:
+        sub a0, zr, a0
+        ret
+"""
+
+
+def run_on(receiver_asm: str) -> int:
+    bed = Testbed.create()
+    client = TwoChainsRuntime(bed.engine, bed.node0, bed.hca0, bed.qp01)
+    server = TwoChainsRuntime(bed.engine, bed.node1, bed.hca1, bed.qp10)
+    build = build_package("overload", [JAM], [RIED])
+    # The client resolves `transform` too (it loads the same package), but
+    # what matters is the *receiver's* binding: load it there first.
+    client.loader.load(build_shared_object(assemble(DOUBLER)), "libt.so")
+    server.loader.load(build_shared_object(assemble(receiver_asm)), "libt.so")
+    client.load_package(build)
+    server.load_package(build)
+
+    mailbox = server.create_mailbox(1, 1, 1024)
+    conn = connect_runtimes(client, server, mailbox)
+    waiter = server.make_waiter(mailbox)
+    waiter.start()
+    payload = bed.node0.map_region(64, PROT_RW)
+    bed.node0.mem.write_i64(payload, 21)
+    pkg = client.packages[build.package_id]
+
+    def send():
+        yield from conn.send_jam(pkg, "jam_apply", payload, 8, inject=True)
+
+    bed.engine.spawn(send())
+    bed.engine.run()
+    waiter.stop()
+    return waiter.stats.last_exec_ret
+
+
+def main() -> None:
+    doubled = run_on(DOUBLER)
+    negated = run_on(NEGATOR)
+    print(f"same jam, payload 21 -> receiver binding 'double': {doubled}")
+    print(f"same jam, payload 21 -> receiver binding 'negate': {negated}")
+    assert doubled == 42
+    assert negated == -21
+    print("OK: one symbolic name, per-process behaviour, no registry")
+
+
+if __name__ == "__main__":
+    main()

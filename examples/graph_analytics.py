@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Semantic-graph analytics: push the computation to the data.
+
+The paper's motivating workload (§I, §II): a large graph lives on a
+server; a client wants per-vertex analytics over changing vertex subsets.
+Instead of pulling adjacency lists over the network, the client *injects
+the analysis function* with the frontier as payload — the code runs next
+to the data and only the aggregate comes back (via ried state).
+
+Here the server holds a CSR graph (built with networkx, loaded into the
+ried's arrays), and the client injects a jam that, for each frontier
+vertex, counts neighbours whose id passes a client-chosen filter — a
+predicate that ships inside the message, so changing the analysis needs
+no server restart, no RPC schema change, no registration step.
+
+Run:  python examples/graph_analytics.py
+"""
+
+import networkx as nx
+
+from repro.core import JamSource, RiedSource, build_package, connect_runtimes
+from repro.core.stdworld import make_world
+from repro.machine import PROT_RW
+
+N_VERTICES = 512
+EDGE_PROB = 0.02
+FRONTIER = 96
+
+RIED_GRAPH = RiedSource("ried_graph", """
+    // CSR storage, filled by the server-side loader.
+    long g_xadj[513];
+    long g_adj[8192];
+    long g_nvertices = 0;
+    // per-query output cells
+    long q_result = 0;
+    long q_visited = 0;
+
+    long graph_result() { return q_result; }
+    long graph_visited() { return q_visited; }
+""")
+
+# The injected analysis: count neighbours of frontier vertices whose id
+# is below a client-supplied threshold.  The predicate (and the whole
+# traversal) is client code executing in the server's address space.
+JAM_FILTER_COUNT = JamSource("jam_filter_count", """
+    extern long g_xadj[];
+    extern long g_adj[];
+    extern long q_result;
+    extern long q_visited;
+
+    long jam_filter_count(long* frontier, long nbytes, long threshold,
+                          long a1) {
+        long n = nbytes / 8;
+        long count = 0;
+        long visited = 0;
+        for (long i = 0; i < n; i = i + 1) {
+            long v = frontier[i];
+            long lo = g_xadj[v];
+            long hi = g_xadj[v + 1];
+            for (long e = lo; e < hi; e = e + 1) {
+                visited = visited + 1;
+                if (g_adj[e] < threshold) { count = count + 1; }
+            }
+        }
+        q_result = count;
+        q_visited = visited;
+        return count;
+    }
+""")
+
+
+def load_graph_on_server(world, lib) -> nx.Graph:
+    """The server-side application fills the ried's CSR arrays."""
+    from repro.workloads import build_csr, load_csr
+
+    graph = nx.gnp_random_graph(N_VERTICES, EDGE_PROB, seed=11,
+                                directed=False)
+    xadj, adj = build_csr(graph)
+    node1 = world.bed.node1
+    load_csr(node1, lib, xadj, adj)
+    node1.mem.write_i64(lib.symbol("g_nvertices"), N_VERTICES)
+    return graph
+
+
+def main() -> None:
+    build = build_package("graphdemo", [JAM_FILTER_COUNT], [RIED_GRAPH])
+    world = make_world(build=build)
+    client, server = world.client, world.server
+    lib = server.packages[build.package_id].library
+    graph = load_graph_on_server(world, lib)
+    print(f"server graph: {graph.number_of_nodes()} vertices, "
+          f"{graph.number_of_edges()} edges (CSR in ried_graph)")
+
+    frontier = list(range(0, FRONTIER * 5, 5))
+    threshold = 200
+
+    frame_size = world.frame_size_for("jam_filter_count",
+                                      len(frontier) * 8, True)
+    mailbox = server.create_mailbox(1, 1, frame_size)
+    conn = connect_runtimes(client, server, mailbox)
+    waiter = server.make_waiter(mailbox)
+    waiter.start()
+
+    payload = world.bed.node0.map_region(len(frontier) * 8, PROT_RW)
+    for i, v in enumerate(frontier):
+        world.bed.node0.mem.write_i64(payload + 8 * i, v)
+    pkg = client.packages[build.package_id]
+
+    def query():
+        yield from conn.send_jam(pkg, "jam_filter_count", payload,
+                                 len(frontier) * 8, args=(threshold,),
+                                 inject=True)
+
+    world.engine.spawn(query())
+    world.engine.run()
+    waiter.stop()
+
+    got = waiter.stats.last_exec_ret
+    expected = sum(1 for v in frontier for u in graph.neighbors(v)
+                   if u < threshold)
+    visited = world.bed.node1.mem.read_i64(lib.symbol("q_visited"))
+    print(f"frontier of {len(frontier)} vertices, predicate 'id < "
+          f"{threshold}' shipped in a {conn.info.frame_size} B message")
+    print(f"edges visited server-side: {visited}; matches: {got} "
+          f"(networkx says {expected})")
+    print(f"analysis ran in {waiter.stats.exec_ns_total:.0f} simulated ns "
+          f"on the server; only the aggregate crossed the wire back")
+    assert got == expected
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

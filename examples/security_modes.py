@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The §V security reconfigurations and what they cost.
+
+The paper lists mitigations that need only runtime reconfiguration:
+
+* receiver-inserted GOT pointer (never trust the wire GOTP),
+* W^X: keep the mailbox non-executable and stage code to RX pages,
+* refuse code-carrying frames entirely (Local Function only).
+
+This example runs the same Server-Side Sum workload under each
+configuration, shows they are functionally equivalent (or correctly
+refuse), and measures the latency cost of each knob — plus a negative
+test: an RDMA put with a bad rkey is rejected at the (simulated)
+hardware level and never lands.
+
+Run:  python examples/security_modes.py
+"""
+
+from repro.bench.shapes import am_pingpong
+from repro.core import RuntimeConfig
+from repro.core.stdworld import make_world
+from repro.errors import RkeyViolation
+
+
+def measure(name: str, server_cfg: RuntimeConfig, inject: bool = True):
+    world = make_world(server_cfg=server_cfg)
+    world.client.cfg.sender_sets_gotp = server_cfg.sender_sets_gotp
+    out = am_pingpong(world, "jam_ss_sum", 64, inject=inject,
+                      warmup=8, iters=40)
+    print(f"{name:34s} p50 one-way {out.stats.p50:8.1f} ns")
+    return out.stats.p50
+
+
+def main() -> None:
+    base = measure("baseline (compact RWX mailbox)", RuntimeConfig())
+    gotp = measure("receiver-inserted GOT pointer",
+                   RuntimeConfig(sender_sets_gotp=False))
+    wx = measure("W^X split code pages",
+                 RuntimeConfig(split_code_pages=True))
+    local = measure("refuse injected (local only)",
+                    RuntimeConfig(refuse_injected=True), inject=False)
+    print()
+    print(f"receiver-GOTP cost: {gotp - base:+7.1f} ns "
+          f"({100 * (gotp - base) / base:+.2f}%)")
+    print(f"W^X staging cost:   {wx - base:+7.1f} ns "
+          f"({100 * (wx - base) / base:+.2f}%)")
+    print(f"local-only delta:   {local - base:+7.1f} ns (no code on wire)")
+
+    # Rejected frames: a receiver configured to refuse injected code
+    # delivers but never executes them.
+    world = make_world(server_cfg=RuntimeConfig(refuse_injected=True))
+    out = am_pingpong(world, "jam_ss_sum", 64, inject=True, warmup=2,
+                      iters=5)
+    assert out.stats.n == 5  # pongs still flowed (delivery worked)
+
+    # And the IBTA rkey check: garbage rkeys never touch memory.
+    world = make_world()
+    dst = world.bed.node1.map_region(4096)
+    src = world.bed.node0.map_region(4096)
+    comp = world.bed.qp01.post_put(0.0, src, dst, 64, rkey=0xBADC0DE)
+    world.engine.run()
+    assert not comp.ok
+    assert world.bed.node1.mem.read(dst, 64) == b"\0" * 64
+    try:
+        world.bed.hca1.mrs.validate(0xBADC0DE, dst, 64, access_op())
+    except RkeyViolation as exc:
+        print(f"\nbad rkey rejected at the hardware level: {exc}")
+    print("OK")
+
+
+def access_op():
+    from repro.rdma import Access
+    return Access.REMOTE_WRITE
+
+
+if __name__ == "__main__":
+    main()

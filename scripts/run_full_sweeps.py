@@ -1,0 +1,16 @@
+"""Run every figure at full sweep size and save the report."""
+import time
+from repro.bench import ALL_FIGURES
+from repro.bench.report import render_figure
+
+out = []
+for name, fn in ALL_FIGURES.items():
+    t0 = time.time()
+    result = fn(fast=False)
+    txt = render_figure(result)
+    out.append(txt + f"\n[{time.time()-t0:.0f}s]\n")
+    print(txt, flush=True)
+    print(f"[{time.time()-t0:.0f}s]", flush=True)
+with open("results/experiments_full.txt", "w") as f:
+    f.write("\n".join(out))
+print("DONE")

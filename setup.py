@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The evaluation environment is offline and lacks the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build their metadata
+wheel.  This shim lets ``python setup.py develop`` (or the fallback path in
+``pip install -e . --no-build-isolation``) install the package in editable
+mode with the stock setuptools that is available.
+"""
+
+from setuptools import setup
+
+setup()

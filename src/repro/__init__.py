@@ -1,0 +1,43 @@
+"""Two-Chains reproduction: function injection & execution over simulated RDMA.
+
+A full-stack simulation reproduction of *Two-Chains: High Performance
+Framework for Function Injection and Execution* (CLUSTER 2021): the CHAIN
+ISA + AMC compiler + ELF toolchain substrate, a cycle-cost two-node
+machine model with LLC stashing, an RDMA/mini-UCX fabric, and the
+Two-Chains active-message runtime on top.
+
+Quickstart: see ``examples/quickstart.py`` and :mod:`repro.core.stdworld`.
+
+Subpackages: ``sim`` (DES kernel), ``machine`` (nodes/caches/DRAM),
+``isa`` (CHAIN), ``amc`` (mini-C), ``elf``, ``linker``, ``rdma``, ``ucp``,
+``core`` (the Two-Chains framework), ``bench`` (figure reproduction),
+``workloads``.
+"""
+
+__version__ = "1.0.0"
+
+from . import amc, core, elf, isa, linker, machine, rdma, sim, ucp  # noqa: F401
+from .core import (  # noqa: F401
+    Connection,
+    JamSource,
+    RiedSource,
+    RuntimeConfig,
+    TwoChainsRuntime,
+    WaitMode,
+    build_package,
+    connect_runtimes,
+)
+from .rdma import Testbed  # noqa: F401
+
+__all__ = [
+    "Connection",
+    "JamSource",
+    "RiedSource",
+    "RuntimeConfig",
+    "Testbed",
+    "TwoChainsRuntime",
+    "WaitMode",
+    "build_package",
+    "connect_runtimes",
+    "__version__",
+]

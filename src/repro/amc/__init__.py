@@ -1,0 +1,16 @@
+"""AMC: the mini-C dialect and compiler used for jam/ried sources."""
+
+from .ast import Program, Ty
+from .compiler import CompileResult, compile_amc
+from .lexer import Token, tokenize
+from .parser import parse
+
+__all__ = [
+    "CompileResult",
+    "Program",
+    "Token",
+    "Ty",
+    "compile_amc",
+    "parse",
+    "tokenize",
+]

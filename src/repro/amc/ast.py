@@ -1,0 +1,219 @@
+"""AST node definitions and the AMC type lattice.
+
+Types are deliberately tiny: 64-bit ``long``, 8-bit ``char``, one level of
+pointers over each, and ``void`` for procedure returns.  This is the subset
+the paper's jams use (payload pointers, counters, hash keys, byte buffers).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+class Ty(enum.Enum):
+    LONG = "long"
+    INT = "int"
+    CHAR = "char"
+    PLONG = "long*"
+    PINT = "int*"
+    PCHAR = "char*"
+    VOID = "void"
+
+    @property
+    def is_pointer(self) -> bool:
+        return self in (Ty.PLONG, Ty.PINT, Ty.PCHAR)
+
+    @property
+    def pointee(self) -> "Ty":
+        if self is Ty.PLONG:
+            return Ty.LONG
+        if self is Ty.PINT:
+            return Ty.INT
+        if self is Ty.PCHAR:
+            return Ty.CHAR
+        raise ValueError(f"{self} is not a pointer type")
+
+    @property
+    def pointee_size(self) -> int:
+        return self.pointee.size
+
+    def pointer_to(self) -> "Ty":
+        if self is Ty.LONG:
+            return Ty.PLONG
+        if self is Ty.INT:
+            return Ty.PINT
+        if self is Ty.CHAR:
+            return Ty.PCHAR
+        raise ValueError(f"cannot take pointer to {self}")
+
+    @property
+    def size(self) -> int:
+        if self is Ty.CHAR:
+            return 1
+        if self is Ty.INT:
+            return 4
+        return 8
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass
+class IntLit:
+    value: int
+    line: int = 0
+
+
+@dataclass
+class StrLit:
+    value: bytes
+    line: int = 0
+
+
+@dataclass
+class Name:
+    ident: str
+    line: int = 0
+
+
+@dataclass
+class Unary:
+    op: str              # '-', '!', '~', '*', '&'
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Binary:
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    target: "Expr"       # Name, Unary('*'), or Index
+    value: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Call:
+    func: str
+    args: list["Expr"]
+    line: int = 0
+
+
+@dataclass
+class Index:
+    base: "Expr"
+    index: "Expr"
+    line: int = 0
+
+
+Expr = Union[IntLit, StrLit, Name, Unary, Binary, Assign, Call, Index]
+
+
+# -- statements ---------------------------------------------------------------
+
+@dataclass
+class Decl:
+    ty: Ty
+    name: str
+    init: Optional[Expr]
+    line: int = 0
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class If:
+    cond: Expr
+    then: list["Stmt"]
+    orelse: list["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: list["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class For:
+    init: Optional["Stmt"]
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: list["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class Return:
+    value: Optional[Expr]
+    line: int = 0
+
+
+@dataclass
+class Break:
+    line: int = 0
+
+
+@dataclass
+class Continue:
+    line: int = 0
+
+
+Stmt = Union[Decl, ExprStmt, If, While, For, Return, Break, Continue]
+
+
+# -- top level -----------------------------------------------------------------
+
+@dataclass
+class Param:
+    ty: Ty
+    name: str
+
+
+@dataclass
+class FuncDef:
+    ret: Ty
+    name: str
+    params: list[Param]
+    body: list[Stmt]
+    line: int = 0
+
+
+@dataclass
+class FuncDecl:
+    """``extern long f(...);`` — resolved through the GOT at runtime."""
+    ret: Ty
+    name: str
+    params: list[Param]
+    line: int = 0
+
+
+@dataclass
+class GlobalVar:
+    ty: Ty
+    name: str
+    array_len: Optional[int]     # None for scalars
+    init: Optional[Expr]         # IntLit / StrLit only
+    is_extern: bool = False
+    line: int = 0
+
+
+@dataclass
+class Program:
+    items: list[Union[FuncDef, FuncDecl, GlobalVar]] = field(default_factory=list)
+
+    def functions(self) -> list[FuncDef]:
+        return [i for i in self.items if isinstance(i, FuncDef)]

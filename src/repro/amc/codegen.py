@@ -1,0 +1,608 @@
+"""AMC code generator: typed AST -> CHAIN assembly text.
+
+A deliberately simple one-pass generator: expressions evaluate into a
+register stack (t0..t11), locals live in fixed sp-relative slots, and the
+frame also reserves spill slots so temporaries survive calls.  All
+external references (functions *and* data) go through the GOT via ``ldg``
+— that is the property the Two-Chains toolchain later rewrites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CompileError
+from . import ast
+from .ast import Ty
+
+_TEMP_BASE = 8       # x8..x19 are the expression stack (t0..t11)
+_NUM_TEMPS = 12
+_SPILL_BASE = 8      # frame offset of temp spill area (after saved lr)
+_LOCAL_BASE = _SPILL_BASE + 8 * _NUM_TEMPS
+
+
+@dataclass
+class _Local:
+    ty: Ty
+    offset: int          # sp-relative
+
+
+@dataclass
+class _Global:
+    ty: Ty
+    is_array: bool
+    is_extern: bool
+
+
+class _FuncContext:
+    def __init__(self, func: ast.FuncDef):
+        self.func = func
+        self.locals: dict[str, _Local] = {}
+        self.depth = 0                      # live expression temps
+        self.loop_stack: list[tuple[str, str]] = []   # (break, continue)
+        self.frame_size = 0
+        self.epilogue = ""
+
+
+class CodeGen:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.lines: list[str] = []
+        self.data_lines: list[str] = []
+        self.bss_lines: list[str] = []
+        self.externs: list[str] = []
+        self.label_counter = 0
+        self.string_labels: dict[bytes, str] = {}
+        self.globals: dict[str, _Global] = {}
+        self.functions: dict[str, ast.FuncDef | ast.FuncDecl] = {}
+
+    # -- helpers ---------------------------------------------------------
+
+    def error(self, msg: str, node=None) -> CompileError:
+        line = getattr(node, "line", None)
+        return CompileError(msg, line)
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " + text)
+
+    def label(self, text: str) -> None:
+        self.lines.append(f"{text}:")
+
+    def new_label(self, hint: str) -> str:
+        self.label_counter += 1
+        return f".L{hint}{self.label_counter}"
+
+    def add_extern(self, name: str) -> None:
+        if name not in self.externs:
+            self.externs.append(name)
+
+    def temp(self, idx: int) -> str:
+        return f"t{idx}"
+
+    def _intern_string(self, value: bytes) -> str:
+        lbl = self.string_labels.get(value)
+        if lbl is None:
+            lbl = self.new_label("str")
+            self.string_labels[value] = lbl
+            escaped = "".join(
+                chr(b) if 32 <= b < 127 and b not in (34, 92) else
+                {10: "\\n", 9: "\\t", 13: "\\r"}.get(b, f"\\x{b:02x}")
+                for b in value
+            )
+            self.data_lines.append(f"{lbl}: .asciz \"{escaped}\"")
+        return lbl
+
+    # -- program ------------------------------------------------------------
+
+    def generate(self) -> str:
+        # Collect global declarations first so forward references work.
+        for item in self.program.items:
+            if isinstance(item, (ast.FuncDef, ast.FuncDecl)):
+                prev = self.functions.get(item.name)
+                if isinstance(prev, ast.FuncDef):
+                    if isinstance(item, ast.FuncDef):
+                        raise self.error(f"redefinition of {item.name!r}", item)
+                    continue  # extern decl after a definition: no-op
+                if isinstance(item, ast.FuncDef) and prev is not None:
+                    # Definition supersedes an earlier extern declaration
+                    # (happens in merged package translation units).
+                    if item.name in self.externs:
+                        self.externs.remove(item.name)
+                self.functions[item.name] = item
+                if isinstance(item, ast.FuncDecl):
+                    self.add_extern(item.name)
+            elif isinstance(item, ast.GlobalVar):
+                existing = self.globals.get(item.name)
+                if existing is not None:
+                    if item.is_extern:
+                        continue  # redundant extern declaration is harmless
+                    if not existing.is_extern:
+                        raise self.error(f"redefinition of {item.name!r}", item)
+                    # definition supersedes extern declaration
+                    if item.name in self.externs:
+                        self.externs.remove(item.name)
+                self.globals[item.name] = _Global(
+                    item.ty, item.array_len is not None, item.is_extern)
+                if item.is_extern:
+                    self.add_extern(item.name)
+                else:
+                    self._emit_global(item)
+        for func in self.program.functions():
+            self._gen_function(func)
+        out = []
+        for name in self.externs:
+            out.append(f".extern {name}")
+        out.append(".text")
+        out.extend(self.lines)
+        if self.data_lines:
+            out.append(".data")
+            out.extend(self.data_lines)
+        if self.bss_lines:
+            out.append(".bss")
+            out.extend(self.bss_lines)
+        return "\n".join(out) + "\n"
+
+    def _emit_global(self, item: ast.GlobalVar) -> None:
+        size = item.ty.size
+        # Data globals are exported (visible to dlsym and cross-library
+        # linking) just like functions.
+        target = self.bss_lines if (item.array_len is not None
+                                    and not isinstance(item.init, ast.StrLit)
+                                    ) else self.data_lines
+        target.append(f".global {item.name}")
+        if item.array_len is not None:
+            nbytes = size * item.array_len
+            if isinstance(item.init, ast.StrLit):
+                if item.ty is not Ty.CHAR:
+                    raise self.error("string initializer needs char[]", item)
+                self.data_lines.append(
+                    f"{item.name}: .asciz \"" + item.init.value.decode("latin-1")
+                    .replace("\\", "\\\\").replace('"', '\\"') + '"')
+                return
+            if item.init is not None:
+                raise self.error("array initializers not supported", item)
+            self.bss_lines.append(".align 8")
+            self.bss_lines.append(f"{item.name}: .zero {max(nbytes, size)}")
+            return
+        value = 0
+        if item.init is not None:
+            value = self._const_value(item.init)
+        self.data_lines.append(".align 8")
+        if item.ty is Ty.CHAR:
+            self.data_lines.append(f"{item.name}: .byte {value & 0xFF}")
+        elif item.ty is Ty.INT:
+            self.data_lines.append(f"{item.name}: .word {value & 0xFFFFFFFF}")
+        else:
+            self.data_lines.append(f"{item.name}: .quad {value}")
+
+    def _const_value(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            return -self._const_value(expr.operand)
+        raise self.error("global initializer must be an integer constant", expr)
+
+    # -- functions --------------------------------------------------------------
+
+    def _count_locals(self, stmts: list[ast.Stmt]) -> int:
+        count = 0
+        for stmt in stmts:
+            if isinstance(stmt, ast.Decl):
+                count += 1
+            elif isinstance(stmt, ast.If):
+                count += self._count_locals(stmt.then)
+                count += self._count_locals(stmt.orelse)
+            elif isinstance(stmt, ast.While):
+                count += self._count_locals(stmt.body)
+            elif isinstance(stmt, ast.For):
+                if isinstance(stmt.init, ast.Decl):
+                    count += 1
+                count += self._count_locals(stmt.body)
+        return count
+
+    def _gen_function(self, func: ast.FuncDef) -> None:
+        ctx = _FuncContext(func)
+        nlocals = len(func.params) + self._count_locals(func.body)
+        frame = _LOCAL_BASE + 8 * nlocals
+        ctx.frame_size = (frame + 15) & ~15
+        ctx.epilogue = self.new_label("ret")
+        self.lines.append(f".global {func.name}")
+        self.label(func.name)
+        self.emit(f"addi sp, sp, -{ctx.frame_size}")
+        self.emit("st lr, 0(sp)")
+        self._next_local = _LOCAL_BASE  # bump cursor for slot assignment
+        for i, param in enumerate(func.params):
+            off = self._alloc_local(ctx, param.name, param.ty, func)
+            self.emit(f"st a{i}, {off}(sp)")
+        self._gen_stmts(ctx, func.body)
+        # Implicit return (value 0 for non-void falls out naturally).
+        self.emit("mov a0, zr")
+        self.label(ctx.epilogue)
+        self.emit("ld lr, 0(sp)")
+        self.emit(f"addi sp, sp, {ctx.frame_size}")
+        self.emit("ret")
+
+    def _alloc_local(self, ctx: _FuncContext, name: str, ty: Ty, node) -> int:
+        # Locals are function-scoped; a redeclaration (e.g. `long i` in two
+        # sibling for-loops) rebinds the name to a fresh slot.
+        off = self._next_local
+        self._next_local += 8
+        ctx.locals[name] = _Local(ty, off)
+        return off
+
+    # -- statements ------------------------------------------------------------------
+
+    def _gen_stmts(self, ctx: _FuncContext, stmts: list[ast.Stmt]) -> None:
+        for stmt in stmts:
+            self._gen_stmt(ctx, stmt)
+
+    def _gen_stmt(self, ctx: _FuncContext, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Decl):
+            off = self._alloc_local(ctx, stmt.name, stmt.ty, stmt)
+            if stmt.init is not None:
+                reg, _ = self._gen_expr(ctx, stmt.init)
+                self.emit(f"st {reg}, {off}(sp)")
+                self._pop(ctx)
+            else:
+                self.emit(f"st zr, {off}(sp)")
+        elif isinstance(stmt, ast.ExprStmt):
+            self._gen_expr(ctx, stmt.expr)
+            self._pop(ctx)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                reg, _ = self._gen_expr(ctx, stmt.value)
+                self.emit(f"mov a0, {reg}")
+                self._pop(ctx)
+            else:
+                self.emit("mov a0, zr")
+            self.emit(f"b {ctx.epilogue}")
+        elif isinstance(stmt, ast.If):
+            else_lbl = self.new_label("else")
+            end_lbl = self.new_label("endif")
+            reg, _ = self._gen_expr(ctx, stmt.cond)
+            self.emit(f"beq {reg}, zr, {else_lbl}")
+            self._pop(ctx)
+            self._gen_stmts(ctx, stmt.then)
+            if stmt.orelse:
+                self.emit(f"b {end_lbl}")
+            self.label(else_lbl)
+            if stmt.orelse:
+                self._gen_stmts(ctx, stmt.orelse)
+                self.label(end_lbl)
+        elif isinstance(stmt, ast.While):
+            top = self.new_label("while")
+            done = self.new_label("wdone")
+            self.label(top)
+            reg, _ = self._gen_expr(ctx, stmt.cond)
+            self.emit(f"beq {reg}, zr, {done}")
+            self._pop(ctx)
+            ctx.loop_stack.append((done, top))
+            self._gen_stmts(ctx, stmt.body)
+            ctx.loop_stack.pop()
+            self.emit(f"b {top}")
+            self.label(done)
+        elif isinstance(stmt, ast.For):
+            top = self.new_label("for")
+            step_lbl = self.new_label("fstep")
+            done = self.new_label("fdone")
+            if stmt.init is not None:
+                self._gen_stmt(ctx, stmt.init)
+            self.label(top)
+            if stmt.cond is not None:
+                reg, _ = self._gen_expr(ctx, stmt.cond)
+                self.emit(f"beq {reg}, zr, {done}")
+                self._pop(ctx)
+            ctx.loop_stack.append((done, step_lbl))
+            self._gen_stmts(ctx, stmt.body)
+            ctx.loop_stack.pop()
+            self.label(step_lbl)
+            if stmt.step is not None:
+                self._gen_expr(ctx, stmt.step)
+                self._pop(ctx)
+            self.emit(f"b {top}")
+            self.label(done)
+        elif isinstance(stmt, ast.Break):
+            if not ctx.loop_stack:
+                raise self.error("break outside loop", stmt)
+            self.emit(f"b {ctx.loop_stack[-1][0]}")
+        elif isinstance(stmt, ast.Continue):
+            if not ctx.loop_stack:
+                raise self.error("continue outside loop", stmt)
+            self.emit(f"b {ctx.loop_stack[-1][1]}")
+        else:  # pragma: no cover - parser produces no other nodes
+            raise self.error(f"unsupported statement {type(stmt).__name__}", stmt)
+
+    # -- expression stack ---------------------------------------------------------------
+
+    def _push(self, ctx: _FuncContext) -> str:
+        if ctx.depth >= _NUM_TEMPS:
+            raise self.error("expression too deep (register stack exhausted)",
+                             ctx.func)
+        reg = self.temp(ctx.depth)
+        ctx.depth += 1
+        return reg
+
+    def _pop(self, ctx: _FuncContext) -> None:
+        if ctx.depth > 0:
+            ctx.depth -= 1
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _gen_expr(self, ctx: _FuncContext, expr: ast.Expr) -> tuple[str, Ty]:
+        """Evaluate ``expr`` into a fresh temp; returns (reg, type)."""
+        if isinstance(expr, ast.IntLit):
+            reg = self._push(ctx)
+            self.emit(f"li {reg}, {expr.value}")
+            return reg, Ty.LONG
+        if isinstance(expr, ast.StrLit):
+            reg = self._push(ctx)
+            lbl = self._intern_string(expr.value)
+            self.emit(f"adr {reg}, {lbl}")
+            return reg, Ty.PCHAR
+        if isinstance(expr, ast.Name):
+            return self._gen_name(ctx, expr)
+        if isinstance(expr, ast.Unary):
+            return self._gen_unary(ctx, expr)
+        if isinstance(expr, ast.Binary):
+            return self._gen_binary(ctx, expr)
+        if isinstance(expr, ast.Assign):
+            return self._gen_assign(ctx, expr)
+        if isinstance(expr, ast.Call):
+            return self._gen_call(ctx, expr)
+        if isinstance(expr, ast.Index):
+            addr_reg, elem_ty = self._gen_index_addr(ctx, expr)
+            self._load_through(addr_reg, elem_ty)
+            return addr_reg, Ty.LONG if elem_ty in (Ty.CHAR, Ty.INT) else elem_ty
+        raise self.error(f"unsupported expression {type(expr).__name__}", expr)
+
+    def _gen_name(self, ctx: _FuncContext, expr: ast.Name) -> tuple[str, Ty]:
+        local = ctx.locals.get(expr.ident)
+        if local is not None:
+            reg = self._push(ctx)
+            self.emit(f"ld {reg}, {local.offset}(sp)")
+            return reg, local.ty
+        glob = self.globals.get(expr.ident)
+        if glob is not None:
+            reg = self._push(ctx)
+            if glob.is_extern:
+                self.emit(f"ldg {reg}, {expr.ident}")
+            else:
+                self.emit(f"adr {reg}, {expr.ident}")
+            if glob.is_array:
+                # arrays decay to a pointer to their first element
+                return reg, glob.ty.pointer_to()
+            self._load_through(reg, glob.ty)
+            return reg, Ty.LONG if glob.ty in (Ty.CHAR, Ty.INT) else glob.ty
+        raise self.error(f"undefined identifier {expr.ident!r}", expr)
+
+    def _load_through(self, reg: str, ty: Ty) -> None:
+        if ty is Ty.CHAR:
+            self.emit(f"lb {reg}, 0({reg})")
+        elif ty is Ty.INT:
+            self.emit(f"lw {reg}, 0({reg})")
+        else:
+            self.emit(f"ld {reg}, 0({reg})")
+
+    def _gen_unary(self, ctx: _FuncContext, expr: ast.Unary) -> tuple[str, Ty]:
+        if expr.op == "&":
+            return self._gen_addr_of(ctx, expr.operand)
+        if expr.op == "*":
+            reg, ty = self._gen_expr(ctx, expr.operand)
+            if not ty.is_pointer:
+                raise self.error("cannot dereference a non-pointer", expr)
+            self._load_through(reg, ty.pointee)
+            return reg, Ty.LONG
+        reg, _ = self._gen_expr(ctx, expr.operand)
+        if expr.op == "-":
+            self.emit(f"sub {reg}, zr, {reg}")
+        elif expr.op == "~":
+            self.emit(f"xori {reg}, {reg}, -1")
+        elif expr.op == "!":
+            self.emit(f"sltu {reg}, zr, {reg}")
+            self.emit(f"xori {reg}, {reg}, 1")
+        else:  # pragma: no cover
+            raise self.error(f"unsupported unary {expr.op!r}", expr)
+        return reg, Ty.LONG
+
+    def _gen_addr_of(self, ctx: _FuncContext, target: ast.Expr) -> tuple[str, Ty]:
+        if isinstance(target, ast.Name):
+            local = ctx.locals.get(target.ident)
+            if local is not None:
+                reg = self._push(ctx)
+                self.emit(f"addi {reg}, sp, {local.offset}")
+                try:
+                    ptr_ty = local.ty.pointer_to()
+                except ValueError:
+                    ptr_ty = Ty.PLONG
+                return reg, ptr_ty
+            glob = self.globals.get(target.ident)
+            if glob is not None:
+                reg = self._push(ctx)
+                if glob.is_extern:
+                    self.emit(f"ldg {reg}, {target.ident}")
+                else:
+                    self.emit(f"adr {reg}, {target.ident}")
+                try:
+                    return reg, glob.ty.pointer_to()
+                except ValueError:
+                    return reg, Ty.PLONG
+            raise self.error(f"undefined identifier {target.ident!r}", target)
+        if isinstance(target, ast.Index):
+            return self._gen_index_addr_as_ptr(ctx, target)
+        raise self.error("can only take address of a variable or element",
+                         target)
+
+    def _gen_index_addr(self, ctx: _FuncContext, expr: ast.Index
+                        ) -> tuple[str, Ty]:
+        base_reg, base_ty = self._gen_expr(ctx, expr.base)
+        if not base_ty.is_pointer:
+            raise self.error("indexing a non-pointer", expr)
+        idx_reg, _ = self._gen_expr(ctx, expr.index)
+        self._scale(idx_reg, base_ty.pointee_size)
+        self.emit(f"add {base_reg}, {base_reg}, {idx_reg}")
+        self._pop(ctx)  # idx
+        return base_reg, base_ty.pointee
+
+    def _gen_index_addr_as_ptr(self, ctx: _FuncContext, expr: ast.Index
+                               ) -> tuple[str, Ty]:
+        reg, elem = self._gen_index_addr(ctx, expr)
+        return reg, elem.pointer_to()
+
+    def _scale(self, reg: str, size: int) -> None:
+        """Multiply an index register by the pointee size."""
+        if size == 8:
+            self.emit(f"shli {reg}, {reg}, 3")
+        elif size == 4:
+            self.emit(f"shli {reg}, {reg}, 2")
+        elif size != 1:  # pragma: no cover - no such type exists
+            self.emit(f"muli {reg}, {reg}, {size}")
+
+    _CMP = {"<": False, ">": True}
+
+    def _gen_binary(self, ctx: _FuncContext, expr: ast.Binary) -> tuple[str, Ty]:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._gen_shortcircuit(ctx, expr)
+        lreg, lty = self._gen_expr(ctx, expr.left)
+        rreg, rty = self._gen_expr(ctx, expr.right)
+        out_ty = Ty.LONG
+        if op in ("+", "-"):
+            if lty.is_pointer and not rty.is_pointer:
+                self._scale(rreg, lty.pointee_size)
+                out_ty = lty
+            elif rty.is_pointer and not lty.is_pointer and op == "+":
+                self._scale(lreg, rty.pointee_size)
+                out_ty = rty
+            elif lty.is_pointer and rty.is_pointer:
+                if op == "+":
+                    raise self.error("cannot add two pointers", expr)
+                out_ty = Ty.LONG  # difference, scaled below
+        simple = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+                  "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "sar"}
+        if op in simple:
+            self.emit(f"{simple[op]} {lreg}, {lreg}, {rreg}")
+            if op == "-" and lty.is_pointer and rty.is_pointer:
+                if lty.pointee_size == 8:
+                    self.emit(f"sari {lreg}, {lreg}, 3")
+                elif lty.pointee_size == 4:
+                    self.emit(f"sari {lreg}, {lreg}, 2")
+            self._pop(ctx)
+            return lreg, out_ty
+        if op == "<":
+            self.emit(f"slt {lreg}, {lreg}, {rreg}")
+        elif op == ">":
+            self.emit(f"slt {lreg}, {rreg}, {lreg}")
+        elif op == "<=":
+            self.emit(f"slt {lreg}, {rreg}, {lreg}")
+            self.emit(f"xori {lreg}, {lreg}, 1")
+        elif op == ">=":
+            self.emit(f"slt {lreg}, {lreg}, {rreg}")
+            self.emit(f"xori {lreg}, {lreg}, 1")
+        elif op == "==":
+            self.emit(f"sub {lreg}, {lreg}, {rreg}")
+            self.emit(f"sltu {lreg}, zr, {lreg}")
+            self.emit(f"xori {lreg}, {lreg}, 1")
+        elif op == "!=":
+            self.emit(f"sub {lreg}, {lreg}, {rreg}")
+            self.emit(f"sltu {lreg}, zr, {lreg}")
+        else:  # pragma: no cover
+            raise self.error(f"unsupported operator {op!r}", expr)
+        self._pop(ctx)
+        return lreg, Ty.LONG
+
+    def _gen_shortcircuit(self, ctx: _FuncContext, expr: ast.Binary
+                          ) -> tuple[str, Ty]:
+        end = self.new_label("sc")
+        lreg, _ = self._gen_expr(ctx, expr.left)
+        self.emit(f"sltu {lreg}, zr, {lreg}")     # normalize to 0/1
+        if expr.op == "&&":
+            self.emit(f"beq {lreg}, zr, {end}")
+        else:
+            self.emit(f"bne {lreg}, zr, {end}")
+        self._pop(ctx)
+        rreg, _ = self._gen_expr(ctx, expr.right)
+        self.emit(f"sltu {rreg}, zr, {rreg}")
+        self.label(end)
+        return rreg, Ty.LONG
+
+    def _gen_assign(self, ctx: _FuncContext, expr: ast.Assign) -> tuple[str, Ty]:
+        value_reg, value_ty = self._gen_expr(ctx, expr.value)
+        target = expr.target
+        if isinstance(target, ast.Name):
+            local = ctx.locals.get(target.ident)
+            if local is not None:
+                self.emit(f"st {value_reg}, {local.offset}(sp)")
+                return value_reg, value_ty
+            glob = self.globals.get(target.ident)
+            if glob is not None:
+                if glob.is_array:
+                    raise self.error("cannot assign to an array", target)
+                addr_reg = self._push(ctx)
+                if glob.is_extern:
+                    self.emit(f"ldg {addr_reg}, {target.ident}")
+                else:
+                    self.emit(f"adr {addr_reg}, {target.ident}")
+                self._store_through(value_reg, addr_reg, glob.ty)
+                self._pop(ctx)
+                return value_reg, value_ty
+            raise self.error(f"undefined identifier {target.ident!r}", target)
+        if isinstance(target, ast.Unary) and target.op == "*":
+            addr_reg, ptr_ty = self._gen_expr(ctx, target.operand)
+            if not ptr_ty.is_pointer:
+                raise self.error("cannot store through a non-pointer", target)
+            self._store_through(value_reg, addr_reg, ptr_ty.pointee)
+            self._pop(ctx)
+            return value_reg, value_ty
+        if isinstance(target, ast.Index):
+            addr_reg, elem = self._gen_index_addr(ctx, target)
+            # _gen_index_addr loads nothing; addr is in addr_reg
+            self._store_through(value_reg, addr_reg, elem)
+            self._pop(ctx)
+            return value_reg, value_ty
+        raise self.error("invalid assignment target", target)
+
+    def _store_through(self, value_reg: str, addr_reg: str, ty: Ty) -> None:
+        if ty is Ty.CHAR:
+            self.emit(f"sb {value_reg}, 0({addr_reg})")
+        elif ty is Ty.INT:
+            self.emit(f"sw {value_reg}, 0({addr_reg})")
+        else:
+            self.emit(f"st {value_reg}, 0({addr_reg})")
+
+    def _gen_call(self, ctx: _FuncContext, expr: ast.Call) -> tuple[str, Ty]:
+        target = self.functions.get(expr.func)
+        if target is None:
+            raise self.error(f"call to undefined function {expr.func!r}", expr)
+        expected = len(target.params)
+        if len(expr.args) != expected:
+            raise self.error(
+                f"{expr.func} expects {expected} args, got {len(expr.args)}",
+                expr)
+        base_depth = ctx.depth
+        arg_regs = []
+        for arg in expr.args:
+            reg, _ = self._gen_expr(ctx, arg)
+            arg_regs.append(reg)
+        # Spill every live temp (callee may clobber t-registers), move args
+        # into the a-registers, call, then restore the survivors.
+        for d in range(ctx.depth):
+            self.emit(f"st {self.temp(d)}, {_SPILL_BASE + 8 * d}(sp)")
+        for i, reg in enumerate(arg_regs):
+            self.emit(f"mov a{i}, {reg}")
+        if isinstance(target, ast.FuncDecl):
+            self.emit(f"ldg at, {expr.func}")
+            self.emit("callr at")
+        else:
+            self.emit(f"call {expr.func}")
+        # Discard arg temps; restore temps below them; push the result.
+        ctx.depth = base_depth
+        for d in range(base_depth):
+            self.emit(f"ld {self.temp(d)}, {_SPILL_BASE + 8 * d}(sp)")
+        result = self._push(ctx)
+        self.emit(f"mov {result}, a0")
+        return result, target.ret if target.ret is not Ty.VOID else Ty.LONG
+
+
+def generate_assembly(program: ast.Program) -> str:
+    """Compile a parsed AMC program to CHAIN assembly text."""
+    return CodeGen(program).generate()

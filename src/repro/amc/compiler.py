@@ -1,0 +1,27 @@
+"""AMC compilation driver: source text -> ObjectModule (+ listing)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.assembler import ObjectModule, assemble
+from .codegen import generate_assembly
+from .parser import parse
+
+
+@dataclass
+class CompileResult:
+    module: ObjectModule
+    assembly: str
+
+
+def compile_amc(source: str) -> CompileResult:
+    """Compile AMC source to a CHAIN object module.
+
+    Pipeline: lex/parse -> codegen to assembly text -> assemble.  The
+    intermediate assembly is returned too — the Two-Chains build tool keeps
+    it as the listing artifact, and tests assert on it.
+    """
+    program = parse(source)
+    assembly = generate_assembly(program)
+    return CompileResult(module=assemble(assembly), assembly=assembly)

@@ -1,0 +1,155 @@
+"""Lexer for AMC, the mini-C dialect jam/ried sources are written in.
+
+Token kinds: keywords, identifiers, integer/char/string literals, operators
+and punctuation.  Comments are ``//`` and ``/* */``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CompileError
+
+KEYWORDS = frozenset({
+    "long", "int", "char", "void", "extern", "return", "if", "else",
+    "while", "for", "break", "continue",
+})
+
+# Longest-match-first operator table.
+OPERATORS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # 'kw' | 'ident' | 'int' | 'char' | 'string' | 'op' | 'eof'
+    text: str
+    value: int | bytes | None
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind},{self.text!r}@{self.line}:{self.col})"
+
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg: str) -> CompileError:
+        return CompileError(msg, line, col)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            for c in source[i : end + 2]:
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, None, line, col))
+            col += i - start
+            continue
+        if ch.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+            text = source[start:i]
+            try:
+                value = int(text, 0)
+            except ValueError:
+                raise error(f"bad number {text!r}") from None
+            tokens.append(Token("int", text, value, line, col))
+            col += i - start
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            if i < n and source[i] == "\\":
+                if i + 1 >= n or source[i + 1] not in _ESCAPES:
+                    raise error("bad escape in char literal")
+                value = _ESCAPES[source[i + 1]]
+                i += 2
+            elif i < n:
+                value = ord(source[i])
+                i += 1
+            else:
+                raise error("unterminated char literal")
+            if i >= n or source[i] != "'":
+                raise error("unterminated char literal")
+            i += 1
+            text = source[start:i]
+            tokens.append(Token("char", text, value, line, col))
+            col += i - start
+            continue
+        if ch == '"':
+            start = i
+            i += 1
+            out = bytearray()
+            while i < n and source[i] != '"':
+                if source[i] == "\\":
+                    if i + 1 >= n or source[i + 1] not in _ESCAPES:
+                        raise error("bad escape in string literal")
+                    out.append(_ESCAPES[source[i + 1]])
+                    i += 2
+                elif source[i] == "\n":
+                    raise error("newline in string literal")
+                else:
+                    out.append(ord(source[i]))
+                    i += 1
+            if i >= n:
+                raise error("unterminated string literal")
+            i += 1
+            text = source[start:i]
+            tokens.append(Token("string", text, bytes(out), line, col))
+            col += i - start
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, None, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", None, line, col))
+    return tokens

@@ -1,0 +1,300 @@
+"""Recursive-descent parser for AMC."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import CompileError
+from . import ast
+from .ast import Ty
+from .lexer import Token, tokenize
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def error(self, msg: str) -> CompileError:
+        tok = self.cur
+        return CompileError(msg, tok.line, tok.col)
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def accept(self, kind: str, text: str | None = None) -> Optional[Token]:
+        tok = self.cur
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.accept(kind, text)
+        if tok is None:
+            want = text or kind
+            raise self.error(f"expected {want!r}, found {self.cur.text!r}")
+        return tok
+
+    def accept_op(self, text: str) -> bool:
+        return self.accept("op", text) is not None
+
+    # -- types -----------------------------------------------------------------
+
+    def try_type(self) -> Optional[Ty]:
+        if self.cur.kind != "kw" or self.cur.text not in ("long", "int",
+                                                          "char", "void"):
+            return None
+        base = self.advance().text
+        if base == "void":
+            return Ty.VOID
+        ty = {"long": Ty.LONG, "int": Ty.INT, "char": Ty.CHAR}[base]
+        if self.accept_op("*"):
+            ty = ty.pointer_to()
+        return ty
+
+    def expect_type(self) -> Ty:
+        ty = self.try_type()
+        if ty is None:
+            raise self.error(f"expected type, found {self.cur.text!r}")
+        return ty
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        prog = ast.Program()
+        while self.cur.kind != "eof":
+            prog.items.append(self.parse_top_item())
+        return prog
+
+    def parse_top_item(self):
+        line = self.cur.line
+        is_extern = self.accept("kw", "extern") is not None
+        ty = self.expect_type()
+        name = self.expect("ident").text
+        if self.cur.kind == "op" and self.cur.text == "(":
+            return self._parse_function(ty, name, is_extern, line)
+        return self._parse_global(ty, name, is_extern, line)
+
+    def _parse_function(self, ret: Ty, name: str, is_extern: bool, line: int):
+        self.expect("op", "(")
+        params: list[ast.Param] = []
+        if not self.accept_op(")"):
+            while True:
+                if self.accept("kw", "void") and self.cur.text == ")":
+                    self.expect("op", ")")
+                    break
+                pty = self.expect_type()
+                if pty is Ty.VOID:
+                    raise self.error("void parameter not allowed")
+                pname = self.expect("ident").text
+                params.append(ast.Param(pty, pname))
+                if self.accept_op(")"):
+                    break
+                self.expect("op", ",")
+        if len(params) > 8:
+            raise self.error("more than 8 parameters not supported")
+        if is_extern or self.cur.text == ";":
+            self.expect("op", ";")
+            return ast.FuncDecl(ret, name, params, line)
+        body = self.parse_block()
+        return ast.FuncDef(ret, name, params, body, line)
+
+    def _parse_global(self, ty: Ty, name: str, is_extern: bool, line: int):
+        if ty is Ty.VOID:
+            raise self.error("void variable not allowed")
+        array_len: Optional[int] = None
+        if self.accept_op("["):
+            if self.cur.kind == "int":
+                array_len = self.advance().value  # type: ignore[assignment]
+            elif is_extern:
+                array_len = 0  # extern long a[]; size unknown
+            else:
+                raise self.error("array definition needs a length")
+            self.expect("op", "]")
+        init: Optional[ast.Expr] = None
+        if self.accept_op("="):
+            if is_extern:
+                raise self.error("extern variable cannot have an initializer")
+            init = self.parse_expr()
+            if not isinstance(init, (ast.IntLit, ast.StrLit, ast.Unary)):
+                raise self.error("global initializer must be a constant")
+        self.expect("op", ";")
+        return ast.GlobalVar(ty, name, array_len, init, is_extern, line)
+
+    # -- statements ------------------------------------------------------------------
+
+    def parse_block(self) -> list[ast.Stmt]:
+        self.expect("op", "{")
+        stmts: list[ast.Stmt] = []
+        while not self.accept_op("}"):
+            if self.cur.kind == "eof":
+                raise self.error("unterminated block")
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_stmt(self) -> ast.Stmt:
+        line = self.cur.line
+        ty = self.try_type()
+        if ty is not None:
+            if ty is Ty.VOID:
+                raise self.error("void local not allowed")
+            name = self.expect("ident").text
+            init = self.parse_expr() if self.accept_op("=") else None
+            self.expect("op", ";")
+            return ast.Decl(ty, name, init, line)
+        if self.accept("kw", "return"):
+            value = None if self.cur.text == ";" else self.parse_expr()
+            self.expect("op", ";")
+            return ast.Return(value, line)
+        if self.accept("kw", "if"):
+            self.expect("op", "(")
+            cond = self.parse_expr()
+            self.expect("op", ")")
+            then = self._stmt_or_block()
+            orelse: list[ast.Stmt] = []
+            if self.accept("kw", "else"):
+                orelse = self._stmt_or_block()
+            return ast.If(cond, then, orelse, line)
+        if self.accept("kw", "while"):
+            self.expect("op", "(")
+            cond = self.parse_expr()
+            self.expect("op", ")")
+            return ast.While(cond, self._stmt_or_block(), line)
+        if self.accept("kw", "for"):
+            self.expect("op", "(")
+            init: Optional[ast.Stmt] = None
+            if not self.accept_op(";"):
+                ity = self.try_type()
+                if ity is not None:
+                    iname = self.expect("ident").text
+                    iinit = self.parse_expr() if self.accept_op("=") else None
+                    init = ast.Decl(ity, iname, iinit, line)
+                else:
+                    init = ast.ExprStmt(self.parse_expr(), line)
+                self.expect("op", ";")
+            cond = None if self.cur.text == ";" else self.parse_expr()
+            self.expect("op", ";")
+            step = None if self.cur.text == ")" else self.parse_expr()
+            self.expect("op", ")")
+            return ast.For(init, cond, step, self._stmt_or_block(), line)
+        if self.accept("kw", "break"):
+            self.expect("op", ";")
+            return ast.Break(line)
+        if self.accept("kw", "continue"):
+            self.expect("op", ";")
+            return ast.Continue(line)
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        return ast.ExprStmt(expr, line)
+
+    def _stmt_or_block(self) -> list[ast.Stmt]:
+        if self.cur.kind == "op" and self.cur.text == "{":
+            return self.parse_block()
+        return [self.parse_stmt()]
+
+    # -- expressions ---------------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_assign()
+
+    def parse_assign(self) -> ast.Expr:
+        line = self.cur.line
+        left = self.parse_binary(0)
+        if self.accept_op("="):
+            value = self.parse_assign()  # right-associative
+            if not isinstance(left, (ast.Name, ast.Index)) and not (
+                isinstance(left, ast.Unary) and left.op == "*"
+            ):
+                raise self.error("invalid assignment target")
+            return ast.Assign(left, value, line)
+        return left
+
+    def parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self.parse_unary()
+        while True:
+            tok = self.cur
+            if tok.kind != "op":
+                return left
+            prec = _PRECEDENCE.get(tok.text)
+            if prec is None or prec < min_prec:
+                return left
+            op = self.advance().text
+            right = self.parse_binary(prec + 1)
+            left = ast.Binary(op, left, right, tok.line)
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.cur
+        if tok.kind == "op" and tok.text in ("-", "!", "~", "*", "&"):
+            self.advance()
+            operand = self.parse_unary()
+            if tok.text == "-" and isinstance(operand, ast.IntLit):
+                return ast.IntLit(-operand.value, tok.line)
+            return ast.Unary(tok.text, operand, tok.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.accept_op("["):
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = ast.Index(expr, index, self.cur.line)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.cur
+        if tok.kind == "int" or tok.kind == "char":
+            self.advance()
+            return ast.IntLit(tok.value, tok.line)  # type: ignore[arg-type]
+        if tok.kind == "string":
+            self.advance()
+            return ast.StrLit(tok.value, tok.line)  # type: ignore[arg-type]
+        if tok.kind == "ident":
+            self.advance()
+            if self.accept_op("("):
+                args: list[ast.Expr] = []
+                if not self.accept_op(")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if self.accept_op(")"):
+                            break
+                        self.expect("op", ",")
+                if len(args) > 8:
+                    raise self.error("more than 8 call arguments not supported")
+                return ast.Call(tok.text, args, tok.line)
+            return ast.Name(tok.text, tok.line)
+        if tok.kind == "op" and tok.text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise self.error(f"unexpected token {tok.text!r} in expression")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse AMC source into a Program AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,47 @@
+"""Benchmark harness: shapes, statistics, per-figure drivers, reporting."""
+
+from .calibration import (
+    BYTE_SIZES,
+    INT_COUNTS,
+    MEASURE_ITERS,
+    RATE_MESSAGES,
+    TAIL_ITERS,
+    TARGETS,
+    WARMUP_ITERS,
+    within_band,
+)
+from .figures import ALL_FIGURES, FigureResult
+from .report import print_figure, render_figure
+from .shapes import (
+    PingPongOutcome,
+    RateOutcome,
+    am_injection_rate,
+    am_pingpong,
+    ucx_put_pingpong,
+    ucx_put_stream,
+)
+from .stats import LatencyStats, pct_diff, summarize
+
+__all__ = [
+    "ALL_FIGURES",
+    "BYTE_SIZES",
+    "FigureResult",
+    "INT_COUNTS",
+    "LatencyStats",
+    "MEASURE_ITERS",
+    "PingPongOutcome",
+    "RATE_MESSAGES",
+    "RateOutcome",
+    "TAIL_ITERS",
+    "TARGETS",
+    "WARMUP_ITERS",
+    "am_injection_rate",
+    "am_pingpong",
+    "pct_diff",
+    "print_figure",
+    "render_figure",
+    "summarize",
+    "ucx_put_pingpong",
+    "ucx_put_stream",
+    "within_band",
+]

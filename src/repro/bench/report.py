@@ -1,0 +1,38 @@
+"""Plain-text rendering of figure results (the harness's 'plots')."""
+
+from __future__ import annotations
+
+from .figures import FigureResult
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1e6:
+            return f"{value:.4g}"
+        return f"{value:,.2f}"
+    return str(value)
+
+
+def render_figure(result: FigureResult) -> str:
+    """Render one figure's series as an aligned table plus its metrics."""
+    rows = result.as_rows()
+    widths = [max(len(_fmt(row[i])) for row in rows)
+              for i in range(len(rows[0]))]
+    lines = [f"== {result.figure}: {result.title} =="]
+    header, *body = rows
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(_fmt(v).rjust(w) for v, w in zip(row, widths)))
+    if result.metrics:
+        lines.append("metrics:")
+        for key, value in result.metrics.items():
+            lines.append(f"  {key} = {_fmt(value)}")
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)
+
+
+def print_figure(result: FigureResult) -> None:
+    print()
+    print(render_figure(result))

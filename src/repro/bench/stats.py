@@ -1,0 +1,46 @@
+"""Latency statistics: percentiles and the paper's tail-latency spread."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    n: int
+    mean: float
+    p50: float
+    p999: float
+    minimum: float
+    maximum: float
+
+    @property
+    def tail_spread_pct(self) -> float:
+        """Equation (1): (tail - typical) / typical, as a percentage."""
+        if self.p50 == 0:
+            return float("inf")
+        return 100.0 * (self.p999 - self.p50) / self.p50
+
+
+def summarize(samples: Iterable[float]) -> LatencyStats:
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no samples")
+    return LatencyStats(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        p50=float(np.percentile(arr, 50.0)),
+        p999=float(np.percentile(arr, 99.9, method="higher")),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def pct_diff(value: float, baseline: float) -> float:
+    """(value - baseline) / baseline in percent; positive = value larger."""
+    if baseline == 0:
+        return float("inf")
+    return 100.0 * (value - baseline) / baseline

@@ -1,0 +1,116 @@
+"""Single-message timeline: where do the nanoseconds of one AM go?
+
+Instruments one injected send end to end and reports the phase breakdown
+(pack/update, software post, wire+DMA flight, waiter wake-up, header
+parse + dispatch, GOT/code/payload execution).  This is the tool you
+reach for when a figure moves and you want to know which phase did it;
+also exposed as ``twochains trace``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import RuntimeConfig, WaitMode
+from ..core.runtime import PreparedJam, connect_runtimes
+from ..core.stdworld import World, make_world
+from ..machine.hierarchy import HierarchyConfig
+from ..machine.pages import PROT_RW
+
+
+@dataclass
+class Phase:
+    name: str
+    start_ns: float
+    end_ns: float
+
+    @property
+    def dur(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class MessageTimeline:
+    wire_size: int
+    phases: list[Phase] = field(default_factory=list)
+
+    @property
+    def total_ns(self) -> float:
+        return self.phases[-1].end_ns - self.phases[0].start_ns
+
+    def render(self) -> str:
+        total = self.total_ns
+        width = 34
+        lines = [f"one-way timeline, {self.wire_size} B frame "
+                 f"({total:.0f} ns total)"]
+        for ph in self.phases:
+            frac = ph.dur / total if total else 0.0
+            bar = "#" * max(1, round(frac * width)) if ph.dur > 0 else ""
+            lines.append(f"  {ph.name:<22s} {ph.dur:8.1f} ns "
+                         f"{100 * frac:5.1f}%  {bar}")
+        return "\n".join(lines)
+
+
+def trace_message(jam: str = "jam_indirect_put", payload_bytes: int = 64,
+                  inject: bool = True, stash: bool = True,
+                  wfe: bool = False, warmup: int = 12) -> MessageTimeline:
+    """Run ``warmup`` messages to reach steady state, then trace one."""
+    mode = WaitMode.WFE if wfe else WaitMode.POLL
+    world = make_world(
+        hier_cfg=HierarchyConfig(stash_enabled=stash),
+        client_cfg=RuntimeConfig(wait_mode=mode),
+        server_cfg=RuntimeConfig(wait_mode=mode))
+    engine = world.engine
+    fsize = world.frame_size_for(jam, payload_bytes, inject)
+    mb = world.server.create_mailbox(1, 1, fsize)
+    conn = connect_runtimes(world.client, world.server, mb)
+    pkg = world.client.packages[world.build.package_id]
+    payload = world.bed.node0.map_region(max(payload_bytes, 64), PROT_RW)
+    prepared = PreparedJam(conn, pkg, jam, payload, payload_bytes,
+                           inject=inject)
+    marks: dict[str, float] = {}
+    done = engine.event("traced")
+
+    def hook(view, slot_addr):
+        marks.setdefault("dispatch_done", engine.now)
+        done.fire()
+        return None
+
+    waiter = world.server.make_waiter(mb, on_frame=hook)
+    # instrument the waiter's wake by wrapping _wait_sig
+    orig_wait = waiter._wait_sig
+
+    def traced_wait(sig_addr, expected):
+        ok = yield from orig_wait(sig_addr, expected)
+        marks.setdefault("woke", engine.now)
+        return ok
+
+    waiter._wait_sig = traced_wait
+    waiter.start()
+
+    def driver():
+        for _ in range(warmup):
+            yield from prepared.send()
+            yield done
+            marks.clear()
+        # the traced message
+        marks["send_start"] = engine.now
+        req = yield from prepared.send()
+        marks["posted"] = engine.now
+        marks["delivered_hint"] = req.completion  # resolved after run
+        yield done
+
+    engine.run_process(driver(), name="trace")
+    waiter.stop()
+    delivered = marks["delivered_hint"].delivered_at
+    # The waiter records 'woke' for every message; after marks.clear() in
+    # the warmup loop, the surviving entries belong to the traced one.
+    tl = MessageTimeline(wire_size=fsize)
+    tl.phases = [
+        Phase("pack + post sw", marks["send_start"], marks["posted"]),
+        Phase("wire + DMA flight", marks["posted"], delivered),
+        Phase("wake + signal read", delivered, marks["woke"]),
+        Phase("parse + dispatch + exec", marks["woke"],
+              marks["dispatch_done"]),
+    ]
+    return tl

@@ -1,0 +1,205 @@
+"""Command-line tools for the Two-Chains reproduction.
+
+Subcommands mirror the toolchain a user of the real system would have:
+
+* ``twochains build <srcdir> -n NAME -o DIR`` — build a package from a
+  canonical source tree (``jam_*.amc`` / ``ried_*.rdc``) and install it.
+* ``twochains inspect <installdir>`` — show a package's manifest, element
+  table, and generated header.
+* ``twochains disas <installdir> <element>`` — disassemble an element's
+  injectable blob (post-GOT-rewrite CHAIN code).
+* ``twochains perf <shape>`` — run a benchmark shape on the simulated
+  testbed (the ucx_perftest analog), e.g.::
+
+      twochains perf pingpong --jam jam_indirect_put --size 256
+      twochains perf rate --jam jam_ss_sum --size 4096 --local
+* ``twochains figures [fig5 ...]`` — regenerate paper figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.install import (
+    build_package_from_dir,
+    install_package,
+    load_installed_package,
+)
+
+
+def _cmd_build(args) -> int:
+    build = build_package_from_dir(args.name, args.srcdir)
+    out = install_package(build, args.output)
+    print(f"package {build.name!r} (id {build.package_id:#010x}) "
+          f"installed to {out}")
+    for art in build.jams:
+        print(f"  element {art.element_id}: {art.name}  "
+              f"code {art.code_size} B, {len(art.externs)} GOT slots")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    build = load_installed_package(args.installdir)
+    print(f"package:    {build.name}")
+    print(f"package id: {build.package_id:#010x}")
+    print(f"library:    {len(build.library_elf)} bytes (ELF64 ET_DYN)")
+    print("elements:")
+    for art in build.jams:
+        print(f"  [{art.element_id}] {art.name}: text {art.text_size} B, "
+              f"rodata {art.rodata_size} B")
+        for slot, sym in enumerate(art.externs):
+            print(f"        got[{slot}] -> {sym}")
+    if build.header:
+        print("header:")
+        for line in build.header.splitlines():
+            print(f"  {line}")
+    return 0
+
+
+def _cmd_disas(args) -> int:
+    from .isa import disassemble
+
+    build = load_installed_package(args.installdir)
+    art = build.jam(args.element)
+    print(f"; {art.name}: {art.text_size} B code, "
+          f"{art.rodata_size} B in-message rodata")
+    for line in disassemble(art.blob[: art.text_size]):
+        print(line)
+    if art.rodata_size:
+        data = art.blob[art.text_size:]
+        print(f"; rodata ({art.rodata_size} B): {data[:64]!r}"
+              + ("..." if len(data) > 64 else ""))
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from .bench.shapes import am_injection_rate, am_pingpong
+    from .core.config import RuntimeConfig, WaitMode
+    from .core.stdworld import make_world
+    from .machine.hierarchy import HierarchyConfig
+
+    hier = HierarchyConfig(stash_enabled=not args.nonstash,
+                           prefetch_enabled=not args.noprefetch)
+    mode = WaitMode.WFE if args.wfe else WaitMode.POLL
+    cfg = lambda: RuntimeConfig(wait_mode=mode)  # noqa: E731
+    world = make_world(hier_cfg=hier, client_cfg=cfg(), server_cfg=cfg())
+    if args.shape == "pingpong":
+        out = am_pingpong(world, args.jam, args.size,
+                          inject=not args.local, warmup=args.warmup,
+                          iters=args.iters, stress=args.stress)
+        s = out.stats
+        print(f"# {args.jam} size={args.size} "
+              f"{'local' if args.local else 'injected'} "
+              f"wire={out.wire_size}B mode={mode.value}"
+              f"{' +stress' if args.stress else ''}")
+        print(f"one-way latency: p50 {s.p50:.1f} ns   p99.9 {s.p999:.1f} ns"
+              f"   min {s.minimum:.1f}   max {s.maximum:.1f}")
+        print(f"tail spread: {s.tail_spread_pct:.1f}%   "
+              f"server cycles/msg: {out.server_cycles_per_iter:.0f}")
+    else:
+        out = am_injection_rate(world, args.jam, args.size,
+                                inject=not args.local,
+                                messages=args.messages)
+        print(f"# {args.jam} size={args.size} "
+              f"{'local' if args.local else 'injected'} wire={out.wire_size}B")
+        print(f"message rate: {out.rate_mps / 1e6:.3f} M msg/s   "
+              f"wire bw: {out.wire_gbps:.2f} GB/s   "
+              f"payload bw: {out.payload_gbps:.3f} GB/s")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .bench.timeline import trace_message
+
+    tl = trace_message(jam=args.jam, payload_bytes=args.size,
+                       inject=not args.local, stash=not args.nonstash,
+                       wfe=args.wfe)
+    print(f"# {args.jam} size={args.size} "
+          f"{'local' if args.local else 'injected'} "
+          f"{'nonstash' if args.nonstash else 'stash'} "
+          f"{'wfe' if args.wfe else 'poll'}")
+    print(tl.render())
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from .bench.figures import ALL_FIGURES
+    from .bench.report import render_figure
+
+    names = args.names or list(ALL_FIGURES)
+    for name in names:
+        fn = ALL_FIGURES.get(name)
+        if fn is None:
+            print(f"unknown figure {name!r}; choices: "
+                  f"{', '.join(ALL_FIGURES)}", file=sys.stderr)
+            return 2
+        print(render_figure(fn(fast=not args.full)))
+        print()
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="twochains",
+        description="Two-Chains (CLUSTER'21) reproduction toolchain")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build", help="build + install a package from a "
+                                     "jam_*.amc / ried_*.rdc source tree")
+    p.add_argument("srcdir")
+    p.add_argument("-n", "--name", required=True)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=_cmd_build)
+
+    p = sub.add_parser("inspect", help="show an installed package")
+    p.add_argument("installdir")
+    p.set_defaults(fn=_cmd_inspect)
+
+    p = sub.add_parser("disas", help="disassemble an element's jam blob")
+    p.add_argument("installdir")
+    p.add_argument("element")
+    p.set_defaults(fn=_cmd_disas)
+
+    p = sub.add_parser("perf", help="run a benchmark shape (perftest analog)")
+    p.add_argument("shape", choices=("pingpong", "rate"))
+    p.add_argument("--jam", default="jam_ss_sum")
+    p.add_argument("--size", type=int, default=64,
+                   help="payload bytes (default 64)")
+    p.add_argument("--local", action="store_true",
+                   help="Local Function frames (no code on the wire)")
+    p.add_argument("--wfe", action="store_true", help="WFE wait mode")
+    p.add_argument("--nonstash", action="store_true",
+                   help="disable LLC stashing")
+    p.add_argument("--noprefetch", action="store_true",
+                   help="disable the stride prefetcher")
+    p.add_argument("--stress", action="store_true",
+                   help="run with the stress workload (pingpong only)")
+    p.add_argument("--iters", type=int, default=120)
+    p.add_argument("--warmup", type=int, default=24)
+    p.add_argument("--messages", type=int, default=1000)
+    p.set_defaults(fn=_cmd_perf)
+
+    p = sub.add_parser("trace", help="phase breakdown of one message")
+    p.add_argument("--jam", default="jam_indirect_put")
+    p.add_argument("--size", type=int, default=64)
+    p.add_argument("--local", action="store_true")
+    p.add_argument("--nonstash", action="store_true")
+    p.add_argument("--wfe", action="store_true")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("figures", help="regenerate paper figures")
+    p.add_argument("names", nargs="*", metavar="figN")
+    p.add_argument("--full", action="store_true",
+                   help="full sweep axes (slower)")
+    p.set_defaults(fn=_cmd_figures)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

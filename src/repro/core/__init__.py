@@ -1,0 +1,81 @@
+"""Two-Chains: the paper's active-message framework (the core library).
+
+Public surface:
+
+* :func:`build_package` / :class:`JamSource` / :class:`RiedSource` — the
+  build toolchain (§IV).
+* :class:`TwoChainsRuntime` — per-process runtime: packages, mailboxes,
+  waiters, VM.
+* :func:`connect_runtimes` / :class:`Connection` — out-of-band setup and
+  the sender-side jam injection API.
+* :class:`RuntimeConfig` / :class:`WaitMode` — configuration incl. the §V
+  security reconfigurations and WFE-vs-poll waiting.
+* :mod:`repro.core.stdjams` — the paper's benchmark jams.
+"""
+
+from .adaptive import AdaptiveJamSender, AdaptiveStats
+from .config import RuntimeConfig, WaitMode
+from .gotrewrite import count_got_accesses, rewrite_got_accesses
+from .install import (
+    build_package_from_dir,
+    collect_sources,
+    install_package,
+    load_installed_package,
+)
+from .mailbox import Mailbox, MailboxInfo, Waiter, WaiterStats
+from .message import (
+    F_GOTP_SENDER,
+    F_INJECTED,
+    F_NO_EXEC,
+    Frame,
+    FrameView,
+    frame_wire_size,
+    pack_frame,
+    unpack_header,
+)
+from .package import LoadedElement, LoadedPackage, load_package
+from .runtime import Connection, PreparedJam, TwoChainsRuntime, connect_runtimes
+from .toolchain import (
+    JamArtifact,
+    JamSource,
+    PackageBuild,
+    RiedSource,
+    build_package,
+)
+
+__all__ = [
+    "AdaptiveJamSender",
+    "AdaptiveStats",
+    "Connection",
+    "F_GOTP_SENDER",
+    "F_INJECTED",
+    "F_NO_EXEC",
+    "Frame",
+    "FrameView",
+    "JamArtifact",
+    "JamSource",
+    "LoadedElement",
+    "LoadedPackage",
+    "Mailbox",
+    "MailboxInfo",
+    "PackageBuild",
+    "PreparedJam",
+    "RiedSource",
+    "RuntimeConfig",
+    "TwoChainsRuntime",
+    "WaitMode",
+    "Waiter",
+    "WaiterStats",
+    "build_package",
+    "build_package_from_dir",
+    "collect_sources",
+    "install_package",
+    "load_installed_package",
+    "connect_runtimes",
+    "count_got_accesses",
+    "frame_wire_size",
+    "load_package",
+    "pack_frame",
+    "rewrite_got_accesses",
+    "unpack_header",
+]

@@ -1,0 +1,111 @@
+"""Adaptive injection: the paper's §VIII future-work extension.
+
+    "In future research we plan to extend Two-Chains function injection
+    logic to detect reoccurring functions that have been injected and
+    auto-switch to local function execution while reducing the size of
+    the active message."
+
+:class:`AdaptiveJamSender` implements exactly that on the sender side: it
+counts injections per (package, element) on a connection, and once an
+element has been injected ``threshold`` times it switches to Local
+Function frames.  The receiver needs no change — local dispatch has been
+a core capability all along (§IV-B); the receiver's package library
+provably contains the function since the element GOT came from it.
+
+Because the mailbox's frames stay sized for the injected form, compact
+local sends use two ordered puts — the small frame, then its signal byte
+at the slot's end — trading one extra post for not moving the code bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.pages import PROT_RW
+from ..sim.engine import Delay
+from .message import Frame, frame_wire_size, pack_frame
+from .package import LoadedPackage
+from .runtime import Connection, PreparedJam
+
+
+@dataclass
+class AdaptiveStats:
+    injected_sends: int = 0
+    local_sends: int = 0
+    wire_bytes_saved: int = 0
+
+    @property
+    def switched(self) -> bool:
+        return self.local_sends > 0
+
+
+class AdaptiveJamSender:
+    """Send one jam repeatedly; auto-switch to local after ``threshold``."""
+
+    def __init__(self, conn: Connection, package: LoadedPackage,
+                 element_name: str, payload_addr: int, payload_size: int,
+                 args: tuple[int, ...] = (), threshold: int = 4):
+        self.conn = conn
+        self.threshold = threshold
+        self.stats = AdaptiveStats()
+        self._injected = PreparedJam(conn, package, element_name,
+                                     payload_addr, payload_size,
+                                     args=args, inject=True)
+        # Pre-pack the compact local frame separately: it is put without
+        # the trailing padding of the big slot.
+        rt = conn.rt
+        el = package.element(element_name)
+        self._local_wire = frame_wire_size(0, payload_size)
+        frame = Frame(package_id=package.package_id,
+                      element_id=el.element_id, flags=0, seq=1,
+                      args=tuple(list(args) + [0] * (2 - len(args))),
+                      payload=rt.node.mem.read(payload_addr, payload_size)
+                      if payload_size else b"")
+        self._local_staging = rt.node.map_region(
+            max(self._local_wire, 64), PROT_RW, label="adaptive.local")
+        rt.node.mem.write(self._local_staging,
+                          pack_frame(frame, self._local_wire))
+        rt.node.hier.stream_cost(rt.engine.now, rt.core,
+                                 self._local_staging, self._local_wire,
+                                 "write")
+
+    def send(self):
+        """Process body: inject until the threshold, then go local."""
+        if self.stats.injected_sends < self.threshold:
+            self.stats.injected_sends += 1
+            result = yield from self._injected.send()
+            return result
+        self.stats.local_sends += 1
+        self.stats.wire_bytes_saved += (self.conn.info.frame_size
+                                        - self._local_wire)
+        result = yield from self._send_local()
+        return result
+
+    def _send_local(self):
+        conn = self.conn
+        rt = conn.rt
+        bank, slot, seq = conn._next_slot()
+        if conn.flow_control and slot == 0:
+            yield from conn._wait_bank_free(bank)
+        fsize = conn.info.frame_size
+        slot_addr = (conn.info.addr
+                     + (bank * conn.info.slots + slot) * fsize)
+        # refresh tags; the compact frame's own last byte is NOT the
+        # mailbox signal (that lives at the big slot's end)
+        node = rt.node
+        node.mem.write_u8(self._local_staging + 4, seq)
+        node.mem.write_u8(self._local_staging + self._local_wire - 1, seq)
+        node.add_busy_ns(rt.core, PreparedJam._UPDATE_NS)
+        yield Delay(PreparedJam._UPDATE_NS)
+        # data put (compact), then the slot-end signal byte; the fabric
+        # delivers puts on a QP in order, so no fence is needed here.
+        req = rt.ep.put_nbi(rt.engine.now, self._local_staging, slot_addr,
+                            self._local_wire, conn.info.rkey, track=False)
+        yield Delay(req.cpu_ns)
+        sig = rt.ep.put_nbi(rt.engine.now,
+                            self._local_staging + self._local_wire - 1,
+                            slot_addr + fsize - 1, 1, conn.info.rkey,
+                            track=False)
+        yield Delay(sig.cpu_ns)
+        conn.sends += 1
+        return sig

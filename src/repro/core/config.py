@@ -1,0 +1,45 @@
+"""Two-Chains runtime configuration, including the §V security options."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class WaitMode(enum.Enum):
+    POLL = "poll"   # busy spin on the signal byte
+    WFE = "wfe"     # arm a monitor, sleep until the line is written
+
+
+@dataclass
+class RuntimeConfig:
+    # -- wait loop -------------------------------------------------------
+    wait_mode: WaitMode = WaitMode.POLL
+    # WFE wake path: monitor arm + event signal + pipeline restart.  The
+    # paper sees <=1.5% latency penalty, i.e. tens of ns on a ~1.5us path.
+    wfe_wake_ns: float = 15.0
+    wfe_wake_cycles: int = 46       # cycles the core is awake per wake-up
+    # While parked in WFE the thread still wakes occasionally (spurious
+    # SEV broadcasts, kernel ticks, runtime housekeeping); it burns this
+    # fraction of the cycles a spin loop would have burned.
+    wfe_housekeeping_duty: float = 0.15
+
+    # -- invocation ------------------------------------------------------
+    # Figs 5-6 run "without execution": deliver + trigger, skip the call.
+    without_execution: bool = False
+
+    # -- §V security reconfigurations --------------------------------------
+    # Default study config: sender writes the receiver GOT pointer into
+    # the message.  False = receiver inserts it on arrival from its own
+    # trusted table (mitigation #2).
+    sender_sets_gotp: bool = True
+    # Mitigation #1: copy arriving code out of the RWX mailbox onto
+    # execute-only pages before running it (W^X).
+    split_code_pages: bool = False
+    # Mitigation: reject frames that carry code at all.
+    refuse_injected: bool = False
+
+    # -- software-path cost constants (calibrated, see bench.calibration) ---
+    pack_fixed_ns: float = 30.0       # header build + element lookup
+    dispatch_parse_ns: float = 16.0   # header decode + dispatch branch
+    invoke_setup_ns: float = 14.0     # argument marshalling into registers

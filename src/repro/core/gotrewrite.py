@@ -1,0 +1,54 @@
+"""The static GOT-access rewrite (§III-B) — the heart of remote linking.
+
+Position-independent CHAIN code reaches external symbols with
+``LDG rd, slot`` whose immediate is a PC-relative offset to the object's
+own GOT.  Code that ships inside a message has no accompanying GOT, so the
+toolchain patches every ``LDG`` into ``LDGI``: the immediate now points
+(PC-relative) at a single 8-byte pointer cell placed just before the code
+in the message (the GOTP field), and the slot is applied to the table that
+cell designates.  The patch is same-size and in-place, so no other offset
+in the function moves — the constraint the paper engineers the fixed-width
+encoding around.
+"""
+
+from __future__ import annotations
+
+from ..errors import TwoChainsError
+from ..isa.encoding import Instr, decode, encode_program
+from ..isa.opcodes import INSTR_BYTES, Op
+
+# The GOTP cell sits immediately before the first code byte in the frame.
+GOTP_REL_TO_CODE = -8
+
+
+def rewrite_got_accesses(text: bytes, code_base_offset: int = 0) -> bytes:
+    """Patch every LDG in ``text`` to LDGI-through-GOTP.
+
+    ``code_base_offset``: offset of ``text``'s first byte from the point
+    the GOTP cell is relative to (0 when the blob starts at the code).
+    Returns the patched text (same length).
+    """
+    if len(text) % INSTR_BYTES:
+        raise TwoChainsError("text length not instruction-aligned")
+    out = []
+    for off in range(0, len(text), INSTR_BYTES):
+        instr = decode(text, off)
+        if instr.op is Op.LDG:
+            # ptr_loc = pc + imm must equal code_start - 8.
+            imm = GOTP_REL_TO_CODE - (code_base_offset + off)
+            instr = Instr(Op.LDGI, rd=instr.rd, rs1=instr.rs1,
+                          rs2=instr.rs2, imm=imm)
+        out.append(instr)
+    return encode_program(out)
+
+
+def count_got_accesses(text: bytes) -> tuple[int, int]:
+    """(ldg_count, ldgi_count) — used by tests and the package inspector."""
+    ldg = ldgi = 0
+    for off in range(0, len(text), INSTR_BYTES):
+        op = text[off]
+        if op == Op.LDG:
+            ldg += 1
+        elif op == Op.LDGI:
+            ldgi += 1
+    return ldg, ldgi

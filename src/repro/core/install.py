@@ -1,0 +1,155 @@
+"""Directory-based package build and install (§IV).
+
+The paper's build tools "take a list of jams and rieds with source files
+located in a subdirectory tree … each element … defined in one canonically
+named source file, e.g. ``jam_append.amc`` or ``ried_array.rdc``", and
+"the build process generates a package header file and shared libraries in
+the package install directory".  This module implements that file-level
+contract:
+
+* :func:`collect_sources` — scan a source tree for ``jam_*.amc`` and
+  ``ried_*.rdc`` files (element name = file stem).
+* :func:`build_package_from_dir` — collect + build.
+* :func:`install_package` — write the package install directory: the
+  shared library, the generated C header, one ``.jam`` blob per element,
+  and a JSON manifest.
+* :func:`load_installed_package` — reconstruct a :class:`PackageBuild`
+  from an install directory (what a program links against at runtime).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import PackageError
+from .toolchain import (
+    JamArtifact,
+    JamSource,
+    PackageBuild,
+    RiedSource,
+    build_package,
+)
+
+MANIFEST_NAME = "package.json"
+MANIFEST_VERSION = 1
+
+
+def collect_sources(source_dir: str | Path
+                    ) -> tuple[list[JamSource], list[RiedSource]]:
+    """Scan a tree for canonical jam/ried sources.
+
+    ``jam_<name>.amc`` files become jams whose entry function must be
+    ``jam_<name>``; ``ried_<name>.rdc`` files become rieds.  Files are
+    ordered by element name so ids are stable across builds and
+    independent of directory layout.
+    """
+    root = Path(source_dir)
+    if not root.is_dir():
+        raise PackageError(f"source directory {root} does not exist")
+    jams = []
+    rieds = []
+    for path in sorted(root.rglob("*.amc"), key=lambda p: p.stem):
+        if not path.stem.startswith("jam_"):
+            raise PackageError(
+                f"{path.name}: jam sources must be named jam_<element>.amc")
+        jams.append(JamSource(path.stem, path.read_text()))
+    for path in sorted(root.rglob("*.rdc"), key=lambda p: p.stem):
+        if not path.stem.startswith("ried_"):
+            raise PackageError(
+                f"{path.name}: ried sources must be named ried_<name>.rdc")
+        rieds.append(RiedSource(path.stem, path.read_text()))
+    if not jams:
+        raise PackageError(f"no jam_*.amc sources under {root}")
+    return jams, rieds
+
+
+def build_package_from_dir(name: str, source_dir: str | Path
+                           ) -> PackageBuild:
+    """Build a package from a canonical source tree."""
+    jams, rieds = collect_sources(source_dir)
+    return build_package(name, jams, rieds)
+
+
+def install_package(build: PackageBuild, install_dir: str | Path) -> Path:
+    """Write the package install directory; returns its path."""
+    out = Path(install_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / f"libtc_{build.name}.so").write_bytes(build.library_elf)
+    if build.dispatch_elf:
+        (out / f"libtc_{build.name}_dispatch.so").write_bytes(
+            build.dispatch_elf)
+    (out / f"{build.name}.h").write_text(build.header)
+    elements = []
+    for art in build.jams:
+        blob_name = f"{art.name}.jam"
+        (out / blob_name).write_bytes(art.blob)
+        (out / f"{art.name}.lst").write_text(art.assembly)
+        elements.append({
+            "name": art.name,
+            "element_id": art.element_id,
+            "blob": blob_name,
+            "entry_off": art.entry_off,
+            "text_size": art.text_size,
+            "rodata_size": art.rodata_size,
+            "externs": art.externs,
+        })
+    manifest = {
+        "manifest_version": MANIFEST_VERSION,
+        "name": build.name,
+        "package_id": build.package_id,
+        "library": f"libtc_{build.name}.so",
+        "dispatch": (f"libtc_{build.name}_dispatch.so"
+                     if build.dispatch_elf else ""),
+        "header": f"{build.name}.h",
+        "elements": elements,
+    }
+    (out / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    return out
+
+
+def load_installed_package(install_dir: str | Path) -> PackageBuild:
+    """Reconstruct a PackageBuild from an install directory."""
+    root = Path(install_dir)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise PackageError(f"{root} is not a package install directory "
+                           f"(missing {MANIFEST_NAME})")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise PackageError(f"corrupt manifest in {root}: {exc}") from exc
+    if manifest.get("manifest_version") != MANIFEST_VERSION:
+        raise PackageError(
+            f"unsupported manifest version {manifest.get('manifest_version')}")
+    jams = []
+    for el in manifest["elements"]:
+        blob_path = root / el["blob"]
+        if not blob_path.is_file():
+            raise PackageError(f"missing jam blob {blob_path}")
+        lst = root / f"{el['name']}.lst"
+        jams.append(JamArtifact(
+            name=el["name"],
+            element_id=el["element_id"],
+            blob=blob_path.read_bytes(),
+            entry_off=el["entry_off"],
+            text_size=el["text_size"],
+            rodata_size=el["rodata_size"],
+            externs=list(el["externs"]),
+            assembly=lst.read_text() if lst.is_file() else "",
+        ))
+    library = (root / manifest["library"]).read_bytes()
+    dispatch = b""
+    if manifest.get("dispatch"):
+        dpath = root / manifest["dispatch"]
+        if dpath.is_file():
+            dispatch = dpath.read_bytes()
+    header_path = root / manifest["header"]
+    return PackageBuild(
+        name=manifest["name"],
+        package_id=manifest["package_id"],
+        jams=jams,
+        library_elf=library,
+        dispatch_elf=dispatch,
+        header=header_path.read_text() if header_path.is_file() else "",
+    )

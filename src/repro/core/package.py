@@ -1,0 +1,89 @@
+"""Receiver-side package loading: libraries, element GOTs, dispatch table.
+
+Loading a package on a process (§IV-A):
+
+1. ``dlopen`` the package shared library — rieds auto-initialize their
+   data/interfaces, and every jam's *local* compilation becomes callable.
+2. Build one **element GOT** per jam: the jam's extern list (fixed at
+   package build, identical on both sides by construction) resolved
+   against *this process's* namespace.  This table is what an injected
+   copy of the jam will indirect through when it arrives — remote linking
+   without any name registry.
+3. Assemble the Local Function dispatch vector: element id -> function
+   address in the loaded library (Fig 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PackageError
+from ..linker.loader import LoadedLibrary, Loader
+from ..machine.node import Node
+from ..machine.pages import PROT_RW
+from .toolchain import PackageBuild
+
+
+@dataclass
+class LoadedElement:
+    name: str
+    element_id: int
+    got_addr: int            # this process's GOT for the element
+    got_slots: list[str]
+    local_fn: int            # address of the unmodified function in the lib
+
+
+@dataclass
+class LoadedPackage:
+    build: PackageBuild
+    library: LoadedLibrary
+    # Address of the Local Function dispatch vector (function pointers
+    # indexed by element id), 0 when the build carries none.
+    dispatch_table: int = 0
+    elements: list[LoadedElement] = field(default_factory=list)
+
+    @property
+    def package_id(self) -> int:
+        return self.build.package_id
+
+    def element(self, name: str) -> LoadedElement:
+        for el in self.elements:
+            if el.name == name:
+                return el
+        raise PackageError(f"no element {name!r} in package "
+                           f"{self.build.name!r}")
+
+    def element_by_id(self, element_id: int) -> LoadedElement:
+        if not 0 <= element_id < len(self.elements):
+            raise PackageError(f"bad element id {element_id}")
+        return self.elements[element_id]
+
+
+def load_package(node: Node, loader: Loader, build: PackageBuild
+                 ) -> LoadedPackage:
+    """Load a package into one process (see module docstring)."""
+    library = loader.load(build.library_elf, f"libtc_{build.name}.so")
+    pkg = LoadedPackage(build=build, library=library)
+    if build.dispatch_elf:
+        dlib = loader.load(build.dispatch_elf,
+                           f"libtc_{build.name}_dispatch.so")
+        pkg.dispatch_table = dlib.symbol(f"tc_dispatch_{build.name}")
+    ns = loader.namespace
+    for art in build.jams:
+        try:
+            local_fn = library.symbol(art.name)
+        except Exception as exc:
+            raise PackageError(
+                f"package library lacks jam symbol {art.name!r}") from exc
+        got_addr = node.map_region(max(len(art.externs) * 8, 8), PROT_RW,
+                                   align=64, label="elem.got")
+        for slot, sym in enumerate(art.externs):
+            node.mem.write_u64(got_addr + slot * 8, ns.resolve(sym))
+        pkg.elements.append(LoadedElement(
+            name=art.name,
+            element_id=art.element_id,
+            got_addr=got_addr,
+            got_slots=list(art.externs),
+            local_fn=local_fn,
+        ))
+    return pkg

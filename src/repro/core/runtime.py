@@ -1,0 +1,367 @@
+"""The Two-Chains runtime: per-process state, connections, jam senders.
+
+One :class:`TwoChainsRuntime` per process (one per node in the two-node
+testbed).  It owns the process namespace, loader, VM, a mini-UCX worker
+bound to the node's HCA, loaded packages, and mailboxes.  A
+:class:`Connection` is the sender-side handle produced by the out-of-band
+setup exchange (§III-B: "the GOT redirect ... is set by the sender after
+an exchange with the receiver"): remote mailbox geometry + rkey, the
+receiver's per-element GOT addresses, and the bank flow-control flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import MailboxError, PackageError, TwoChainsError
+from ..isa.intrinsics import IntrinsicTable
+from ..isa.vm import Vm
+from ..linker.loader import Loader
+from ..linker.namespace import Namespace
+from ..machine.node import Node
+from ..machine.pages import PROT_RW
+from ..rdma.mr import Access
+from ..rdma.verbs import Hca, QueuePair
+from ..sim.engine import Delay, Engine
+from ..ucp.worker import UcpConfig, UcpWorker
+from .config import RuntimeConfig, WaitMode
+from .mailbox import Mailbox, MailboxInfo, Waiter
+from .message import (
+    F_GOTP_SENDER,
+    F_INJECTED,
+    F_NO_EXEC,
+    Frame,
+    frame_wire_size,
+    pack_frame,
+)
+from .package import LoadedPackage, load_package
+from .toolchain import PackageBuild
+
+
+class TwoChainsRuntime:
+    """Per-process Two-Chains state."""
+
+    def __init__(self, engine: Engine, node: Node, hca: Hca,
+                 qp_out: QueuePair, cfg: RuntimeConfig | None = None,
+                 core: int = 0, ucp_cfg: UcpConfig | None = None):
+        self.engine = engine
+        self.node = node
+        self.hca = hca
+        self.cfg = cfg or RuntimeConfig()
+        self.core = core
+        self.intrinsics = IntrinsicTable()
+        self.namespace = Namespace(self.intrinsics)
+        self.loader = Loader(node, self.namespace)
+        self.vm = Vm(node, core=core, intrinsics=self.intrinsics)
+        self.worker = UcpWorker(engine, node, hca, ucp_cfg, core=core)
+        self.ep = self.worker.create_ep(qp_out)
+        self.packages: dict[int, LoadedPackage] = {}
+        # 8-byte scratch cell used for flag puts back to senders.
+        self.flag_scratch = node.map_region(64, PROT_RW, label="flagscratch")
+
+    # -- setup ------------------------------------------------------------
+
+    def load_package(self, build: PackageBuild) -> LoadedPackage:
+        pkg = load_package(self.node, self.loader, build)
+        self.packages[pkg.package_id] = pkg
+        # dlopen is a setup-time cost; charge it to the core outside any
+        # measured loop (benchmarks load before timing starts).
+        self.node.add_busy_ns(self.core, pkg.library.load_cost_ns)
+        return pkg
+
+    def relink_package(self, pkg: LoadedPackage) -> None:
+        """Refresh the package's bindings against the current namespace:
+        re-apply the library's relocations and rebuild every element GOT.
+        Call after loading a replacement library (with
+        ``namespace.redefine``) to change what already-installed jams and
+        local functions call — without restarting the process (§III)."""
+        self.loader.relink(pkg.library)
+        for el, art in zip(pkg.elements, pkg.build.jams):
+            for slot, sym in enumerate(art.externs):
+                self.node.mem.write_u64(el.got_addr + slot * 8,
+                                        self.namespace.resolve(sym))
+
+    def create_mailbox(self, banks: int = 1, slots: int = 1,
+                       frame_size: int = 1024) -> Mailbox:
+        return Mailbox(self, banks, slots, frame_size)
+
+    def make_waiter(self, mailbox: Mailbox, on_frame=None,
+                    flag_target=None, record_dispatch: bool = False,
+                    core: int | None = None) -> Waiter:
+        return Waiter(self, mailbox, on_frame=on_frame,
+                      flag_target=flag_target,
+                      record_dispatch=record_dispatch, core=core)
+
+
+@dataclass
+class _ElementRemote:
+    got_addr: int          # receiver-side element GOT
+    code_addr: int         # sender-side staged copy of the jam blob
+    code_size: int
+    entry_off: int
+
+
+class Connection:
+    """Sender-side handle to one remote mailbox (result of the exchange)."""
+
+    def __init__(self, sender: TwoChainsRuntime, receiver: TwoChainsRuntime,
+                 mailbox: Mailbox, flow_control: bool = False):
+        self.rt = sender
+        self.info: MailboxInfo = mailbox.info()
+        self.flow_control = flow_control
+        self._remote: dict[tuple[int, int], _ElementRemote] = {}
+        # Stage every known jam blob into sender memory once (the package
+        # install did this in the paper's flow).
+        for pkg_id, pkg in receiver.packages.items():
+            spkg = sender.packages.get(pkg_id)
+            if spkg is None:
+                continue  # sender has not loaded this package
+            for r_el, art in zip(pkg.elements, pkg.build.jams):
+                code_addr = sender.node.map_region(
+                    max(len(art.blob), 64), PROT_RW, label="jamcode")
+                sender.node.mem.write(code_addr, art.blob)
+                self._remote[(pkg_id, art.element_id)] = _ElementRemote(
+                    got_addr=r_el.got_addr,
+                    code_addr=code_addr,
+                    code_size=len(art.blob),
+                    entry_off=art.entry_off,
+                )
+        # Frame staging buffer.
+        self._staging = sender.node.map_region(
+            max(self.info.frame_size, 64), PROT_RW, align=64,
+            label="framestage")
+        # Bank flow-control flags (sender memory, receiver raises them).
+        self.flags_addr = sender.node.map_region(
+            max(self.info.banks * 8, 64), PROT_RW, label="bankflags")
+        for b in range(self.info.banks):
+            sender.node.mem.write_u64(self.flags_addr + b * 8, 1)
+        self.flags_mr = sender.hca.register_memory(
+            self.flags_addr, max(self.info.banks * 8, 64),
+            Access.REMOTE_WRITE)
+        # cursor state
+        self._bank = 0
+        self._slot = 0
+        self._rounds = [0] * self.info.banks
+        self.sends = 0
+
+    # -- info the receiver needs for flow control --------------------------
+
+    def flag_target(self) -> tuple[int, int]:
+        return self.flags_addr, self.flags_mr.rkey
+
+    # -- sending -----------------------------------------------------------
+
+    def _next_slot(self):
+        bank, slot = self._bank, self._slot
+        seq = (self._rounds[bank] % 255) + 1
+        self._slot += 1
+        if self._slot == self.info.slots:
+            self._slot = 0
+            self._rounds[bank] += 1
+            self._bank = (bank + 1) % self.info.banks
+        return bank, slot, seq
+
+    def _wait_bank_free(self, bank: int):
+        node = self.rt.node
+        addr = self.flags_addr + bank * 8
+        ev = node.monitor_event(addr)
+        start = self.rt.engine.now
+        while node.mem.read_u64(addr) == 0:
+            yield ev
+        # Sender-side flow control is also a spin on local memory; in the
+        # streaming benchmarks it overlaps the receiver's drain.
+        node.add_wait_cycles(self.rt.core, int((self.rt.engine.now - start)
+                                               * 2.6))
+        node.mem.write_u64(addr, 0)
+
+    def send_jam(self, package: LoadedPackage, element_name: str,
+                 payload_addr: int, payload_size: int,
+                 args: tuple[int, ...] = (), inject: bool = True,
+                 no_exec: bool = False):
+        """Process body: pack one active message and put it to the remote
+        mailbox.  Returns the UcpRequest of the frame put."""
+        rt = self.rt
+        node = rt.node
+        cfg = rt.cfg
+        el = package.element(element_name)
+        key = (package.package_id, el.element_id)
+        remote = self._remote.get(key)
+        if remote is None:
+            raise TwoChainsError(
+                f"receiver has not loaded package {package.build.name!r}")
+        bank, slot, seq = self._next_slot()
+        if self.flow_control and slot == 0:
+            yield from self._wait_bank_free(bank)
+
+        flags = 0
+        code = b""
+        gotp = 0
+        if inject:
+            art = package.build.jam(element_name)
+            if art.entry_off != 0:
+                raise PackageError(
+                    f"jam {element_name!r}: entry must be the first function "
+                    "to be injectable")
+            flags |= F_INJECTED
+            code = node.mem.read(remote.code_addr, remote.code_size)
+            if cfg.sender_sets_gotp:
+                flags |= F_GOTP_SENDER
+                gotp = remote.got_addr
+        if no_exec:
+            flags |= F_NO_EXEC
+
+        payload = node.mem.read(payload_addr, payload_size) \
+            if payload_size else b""
+        wire = frame_wire_size(len(code), payload_size)
+        if wire > self.info.frame_size:
+            raise MailboxError(
+                f"message needs {wire} B, remote frames are "
+                f"{self.info.frame_size} B")
+        if len(args) > 2:
+            raise TwoChainsError("frames carry at most 2 inline arguments")
+        frame = Frame(package_id=package.package_id,
+                      element_id=el.element_id, flags=flags, seq=seq,
+                      args=tuple(list(args) + [0] * (2 - len(args))),
+                      code=code, payload=payload, gotp=gotp)
+        blob = pack_frame(frame, self.info.frame_size)
+        node.mem.write(self._staging, blob)
+
+        # Pack cost: header build plus staging copies of code and payload.
+        cost = cfg.pack_fixed_ns
+        code_off = 48  # HDR + GOTP
+        if code:
+            cost += node.hier.stream_cost(rt.engine.now, rt.core,
+                                          remote.code_addr, len(code), "read")
+            cost += node.hier.stream_cost(rt.engine.now + cost, rt.core,
+                                          self._staging + code_off, len(code),
+                                          "write")
+        if payload_size:
+            cost += node.hier.stream_cost(rt.engine.now + cost, rt.core,
+                                          payload_addr, payload_size, "read")
+            cost += node.hier.stream_cost(rt.engine.now + cost, rt.core,
+                                          self._staging + code_off + len(code),
+                                          payload_size, "write")
+        node.add_busy_ns(rt.core, cost)
+        yield Delay(cost)
+
+        slot_addr = (self.info.addr
+                     + (bank * self.info.slots + slot) * self.info.frame_size)
+        req = rt.ep.put_nbi(rt.engine.now, self._staging, slot_addr,
+                            self.info.frame_size, self.info.rkey,
+                            track=False)
+        yield Delay(req.cpu_ns)
+        self.sends += 1
+        return req
+
+
+class PreparedJam:
+    """A pre-packed active message for repeated sending (perf-tool path).
+
+    The frame (header, GOTP, code, payload) is staged once; each ``send``
+    only refreshes the sequence tag and signal byte before the put — the
+    same amount of per-message software work as a bare RDMA put, which is
+    the design goal §VI states.
+    """
+
+    # per-send software cost of the tag/signal refresh
+    _UPDATE_NS = 9.0
+
+    def __init__(self, conn: Connection, package: LoadedPackage,
+                 element_name: str, payload_addr: int, payload_size: int,
+                 args: tuple[int, ...] = (), inject: bool = True,
+                 no_exec: bool = False):
+        rt = conn.rt
+        node = rt.node
+        el = package.element(element_name)
+        remote = conn._remote.get((package.package_id, el.element_id))
+        if remote is None:
+            raise TwoChainsError(
+                f"receiver has not loaded package {package.build.name!r}")
+        flags = 0
+        code = b""
+        gotp = 0
+        if inject:
+            art = package.build.jam(element_name)
+            if art.entry_off != 0:
+                raise PackageError(
+                    f"jam {element_name!r}: entry must be the first function")
+            flags |= F_INJECTED
+            code = node.mem.read(remote.code_addr, remote.code_size)
+            if rt.cfg.sender_sets_gotp:
+                flags |= F_GOTP_SENDER
+                gotp = remote.got_addr
+        if no_exec:
+            flags |= F_NO_EXEC
+        if len(args) > 2:
+            raise TwoChainsError("frames carry at most 2 inline arguments")
+        payload = node.mem.read(payload_addr, payload_size) \
+            if payload_size else b""
+        self.wire_size = frame_wire_size(len(code), payload_size)
+        if self.wire_size > conn.info.frame_size:
+            raise MailboxError(
+                f"message needs {self.wire_size} B, remote frames are "
+                f"{conn.info.frame_size} B")
+        frame = Frame(package_id=package.package_id,
+                      element_id=el.element_id, flags=flags, seq=1,
+                      args=tuple(list(args) + [0] * (2 - len(args))),
+                      code=code, payload=payload, gotp=gotp)
+        self.conn = conn
+        self.staging = node.map_region(conn.info.frame_size, PROT_RW,
+                                       align=64, label="prepared")
+        node.mem.write(self.staging, pack_frame(frame, conn.info.frame_size))
+        # Building the frame is real CPU work; it also warms the sender's
+        # caches so subsequent HCA reads of the staging buffer hit the LLC
+        # (steady-state of a perf loop over a resident source buffer).
+        build_cost = rt.cfg.pack_fixed_ns + node.hier.stream_cost(
+            rt.engine.now, rt.core, self.staging, conn.info.frame_size,
+            "write")
+        node.add_busy_ns(rt.core, build_cost)
+
+    def send(self):
+        """Process body: refresh seq/signal, put the frame.  Returns the
+        UcpRequest of the frame put (the signal put on unordered fabrics).
+
+        On the paper's testbed inter-put ordering is enforced, so the
+        whole frame — signal byte last — travels in ONE put.  On fabrics
+        without that guarantee (``LinkParams.enforces_ordering=False``)
+        the data put is followed by a fence and a separate 1-byte signal
+        put (SS III-A), costing an extra post per message.
+        """
+        conn = self.conn
+        rt = conn.rt
+        bank, slot, seq = conn._next_slot()
+        if conn.flow_control and slot == 0:
+            yield from conn._wait_bank_free(bank)
+        fsize = conn.info.frame_size
+        ordered = rt.hca.link.enforces_ordering
+        # seq lives at header byte 4; the signal byte is last.
+        rt.node.mem.write_u8(self.staging + 4, seq)
+        rt.node.mem.write_u8(self.staging + fsize - 1,
+                             seq if ordered else 0)
+        rt.node.add_busy_ns(rt.core, self._UPDATE_NS)
+        yield Delay(self._UPDATE_NS)
+        slot_addr = (conn.info.addr
+                     + (bank * conn.info.slots + slot) * fsize)
+        req = rt.ep.put_nbi(rt.engine.now, self.staging, slot_addr,
+                            fsize, conn.info.rkey, track=False)
+        yield Delay(req.cpu_ns)  # the post's software path is serial work
+        if not ordered:
+            # fence, then the signal byte in its own put
+            rt.ep.qp.fence()
+            rt.node.mem.write_u8(self.staging + fsize - 1, seq)
+            req = rt.ep.put_nbi(rt.engine.now, self.staging + fsize - 1,
+                                slot_addr + fsize - 1, 1, conn.info.rkey,
+                                track=False)
+            yield Delay(req.cpu_ns)
+        conn.sends += 1
+        return req
+
+
+def connect_runtimes(sender: TwoChainsRuntime, receiver: TwoChainsRuntime,
+                     mailbox: Mailbox, flow_control: bool = False
+                     ) -> Connection:
+    """The out-of-band setup exchange: sender learns mailbox geometry,
+    rkey, and the receiver's element GOT addresses; the receiver (via
+    ``Connection.flag_target``) learns where the sender's bank flags live."""
+    return Connection(sender, receiver, mailbox, flow_control=flow_control)

@@ -1,0 +1,159 @@
+"""The standard Two-Chains test package (§VI-B): the paper's benchmark jams.
+
+* **Server-Side Sum** — sums the integer payload and stores the result at
+  the next spot in a server-side array (owned by the ``ried_results``
+  ried).
+* **Indirect Put** (Fig 4) — probes a server-side hash table with a
+  client-chosen key, picks/retrieves the offset bound to that key, and
+  copies the payload into the server's data heap at that offset.  The
+  client fully controls the lookup function: it travels in the message.
+
+``pad_code_to`` matches the shipped-code sizes the paper reports (1408 B
+for Indirect Put; Server-Side Sum is "smaller", we use 448 B) so the
+message-size crossover points land where §VII-A places them.
+"""
+
+from __future__ import annotations
+
+from .toolchain import JamSource, PackageBuild, RiedSource, build_package
+
+# -- rieds -------------------------------------------------------------------
+
+RIED_RESULTS = RiedSource("ried_results", r"""
+// Server-side results array for Server-Side Sum.
+long ss_results[1024];
+long ss_cursor = 0;
+
+long ss_store(long v) {
+    long i = ss_cursor;
+    ss_results[i % 1024] = v;
+    ss_cursor = i + 1;
+    return i;
+}
+
+long ss_count() { return ss_cursor; }
+
+long ss_get(long i) { return ss_results[i % 1024]; }
+""")
+
+KV_SLOTS = 4096  # power of two; probe masks with KV_SLOTS-1
+
+RIED_KV = RiedSource("ried_kv", r"""
+// Server-side keyed heap for Indirect Put: open-addressed hash table
+// mapping keys to offsets in a data heap.
+extern long tc_hash64(long k);
+long kv_keys[4096];
+long kv_offsets[4096];
+char kv_data[1048576];
+long kv_cursor = 0;
+long kv_inserts = 0;
+
+// Server-local lookup used by applications/tests (not by the jam, which
+// carries its own probe loop — the client controls the lookup function).
+long kv_find(long key) {
+    long idx = tc_hash64(key) & 4095;
+    long probes = 0;
+    while (probes < 4096) {
+        long k = kv_keys[idx];
+        if (k == 0) { return -1; }
+        if (k == key + 1) { return kv_offsets[idx]; }
+        idx = (idx + 1) & 4095;
+        probes = probes + 1;
+    }
+    return -1;
+}
+
+long kv_insert_count() { return kv_inserts; }
+""")
+
+# -- jams --------------------------------------------------------------------
+
+JAM_SS_SUM = JamSource("jam_ss_sum", r"""
+extern long tc_sum32(int* p, long n);
+extern long ss_store(long v);
+
+long jam_ss_sum(int* payload, long nbytes, long a0, long a1) {
+    long s = tc_sum32(payload, nbytes / 4);
+    ss_store(s);
+    return s;
+}
+""", pad_code_to=448)
+
+# A loop-based variant used by correctness tests (no intrinsic shortcut).
+JAM_SS_SUM_NAIVE = JamSource("jam_ss_sum_naive", r"""
+extern long ss_store(long v);
+
+long jam_ss_sum_naive(int* payload, long nbytes, long a0, long a1) {
+    long n = nbytes / 4;
+    long s = 0;
+    for (long i = 0; i < n; i = i + 1) { s = s + payload[i]; }
+    ss_store(s);
+    return s;
+}
+""")
+
+JAM_INDIRECT_PUT = JamSource("jam_indirect_put", r"""
+extern long tc_hash64(long k);
+extern long tc_memcpy(char* dst, char* src, long n);
+extern long kv_keys[];
+extern long kv_offsets[];
+extern char kv_data[];
+extern long kv_cursor;
+extern long kv_inserts;
+
+long jam_indirect_put(char* payload, long nbytes, long key, long a1) {
+    // (1) probe the hash table with the client-chosen key
+    long mask = 4095;
+    long idx = tc_hash64(key) & mask;
+    long probes = 0;
+    while (probes < 4096) {
+        long k = kv_keys[idx];
+        if (k == 0 || k == key + 1) { break; }
+        idx = (idx + 1) & mask;
+        probes = probes + 1;
+    }
+    // (2) choose/recover the offset bound to this key
+    long off;
+    if (kv_keys[idx] == key + 1) {
+        off = kv_offsets[idx];
+    } else {
+        kv_keys[idx] = key + 1;
+        off = kv_cursor;
+        kv_cursor = off + nbytes;
+        kv_offsets[idx] = off;
+        kv_inserts = kv_inserts + 1;
+    }
+    // (3) copy the payload into the heap at base + offset
+    tc_memcpy(kv_data + off, payload, nbytes);
+    return off;
+}
+""", pad_code_to=1408)
+
+# A "function overloading" demo jam: same symbolic name can resolve to
+# process-specific behaviour (§IV bullet 2); used by examples/tests.
+JAM_TAG = JamSource("jam_tag", r"""
+extern long process_tag();
+extern long ss_store(long v);
+
+long jam_tag(char* payload, long nbytes, long a0, long a1) {
+    long t = process_tag();
+    ss_store(t);
+    return t;
+}
+""")
+
+
+def build_std_package(include_tag: bool = False,
+                      sum_pad: int = 448, iput_pad: int = 1408
+                      ) -> PackageBuild:
+    """Build the standard test package installed with the perf tester."""
+    jams = [
+        JamSource(JAM_SS_SUM.name, JAM_SS_SUM.source, pad_code_to=sum_pad),
+        JamSource(JAM_INDIRECT_PUT.name, JAM_INDIRECT_PUT.source,
+                  pad_code_to=iput_pad),
+        JAM_SS_SUM_NAIVE,
+    ]
+    rieds = [RIED_RESULTS, RIED_KV]
+    if include_tag:
+        jams.append(JAM_TAG)
+    return build_package("tcstd", jams, rieds)

@@ -1,0 +1,59 @@
+"""Convenience construction of the standard two-node Two-Chains world.
+
+Used by tests, examples, and every benchmark driver: a back-to-back
+testbed with one Two-Chains runtime per node and the standard package
+(§VI-B jams) loaded on both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.hierarchy import HierarchyConfig
+from ..rdma.fabric import Testbed
+from ..rdma.params import LinkParams, DEFAULT_LINK
+from ..ucp.worker import UcpConfig
+from .config import RuntimeConfig
+from .message import frame_wire_size
+from .runtime import TwoChainsRuntime
+from .stdjams import build_std_package
+from .toolchain import PackageBuild
+
+
+@dataclass
+class World:
+    __test__ = False  # not a pytest class
+
+    bed: Testbed
+    client: TwoChainsRuntime   # node0
+    server: TwoChainsRuntime   # node1
+    build: PackageBuild
+
+    @property
+    def engine(self):
+        return self.bed.engine
+
+    def frame_size_for(self, jam_name: str, payload_bytes: int,
+                       inject: bool) -> int:
+        """Fixed frame size for a benchmark point (paper: messages sized
+        to the nearest 64 B)."""
+        code = len(self.build.jam(jam_name).blob) if inject else 0
+        return frame_wire_size(code, payload_bytes)
+
+
+def make_world(hier_cfg: HierarchyConfig | None = None,
+               client_cfg: RuntimeConfig | None = None,
+               server_cfg: RuntimeConfig | None = None,
+               link: LinkParams = DEFAULT_LINK,
+               ucp_cfg: UcpConfig | None = None,
+               build: PackageBuild | None = None,
+               seed: int | None = None) -> World:
+    bed = Testbed.create(hier_cfg=hier_cfg, link=link, seed=seed)
+    client = TwoChainsRuntime(bed.engine, bed.node0, bed.hca0, bed.qp01,
+                              cfg=client_cfg, ucp_cfg=ucp_cfg)
+    server = TwoChainsRuntime(bed.engine, bed.node1, bed.hca1, bed.qp10,
+                              cfg=server_cfg, ucp_cfg=ucp_cfg)
+    pkg_build = build if build is not None else build_std_package()
+    client.load_package(pkg_build)
+    server.load_package(pkg_build)
+    return World(bed=bed, client=client, server=server, build=pkg_build)

@@ -1,0 +1,216 @@
+"""The Two-Chains build toolchain (§IV).
+
+Takes canonical jam (``.amc``) and ried (``.rdc``) sources and produces a
+package: one ordinary shared library containing every element compiled
+*unmodified* (the Local Function library, also the source of receiver-side
+GOTs), plus, per jam, an injectable blob — the jam's machine code with its
+read-only data appended and every GOT access rewritten to indirect through
+the message GOTP cell.
+
+Mirrors the paper's flow: C sources -> PIC compilation (all externals via
+GOT, as with ``-fpic -fno-plt``) -> static assembly modification -> package
+install (header + shared libraries).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..amc import compile_amc
+from ..elf import build_shared_object
+from ..errors import PackageError
+from ..isa.assembler import ObjectModule, RelocKind
+from .gotrewrite import count_got_accesses, rewrite_got_accesses
+
+
+@dataclass(frozen=True)
+class JamSource:
+    """One canonical jam source file (e.g. ``jam_append.amc``)."""
+    name: str          # element name; also the entry function's symbol
+    source: str        # AMC text
+    # Pad the code section to this many bytes with NOPs (0 = natural
+    # size).  Used to match the paper's reported shipped-code sizes when
+    # reproducing the message-size crossover points.
+    pad_code_to: int = 0
+
+
+@dataclass(frozen=True)
+class RiedSource:
+    """One ried source: interface/data library loaded at setup time."""
+    name: str
+    source: str
+
+
+@dataclass
+class JamArtifact:
+    name: str
+    element_id: int
+    blob: bytes            # rewritten code + read-only data, ships in frames
+    entry_off: int         # entry point offset within blob
+    text_size: int
+    rodata_size: int
+    externs: list[str]     # GOT slot order (matches receiver element GOT)
+    assembly: str          # compiler listing, kept for inspection
+
+    @property
+    def code_size(self) -> int:
+        return len(self.blob)
+
+
+@dataclass
+class PackageBuild:
+    name: str
+    package_id: int
+    jams: list[JamArtifact]
+    library_elf: bytes       # the Local Function / ried shared object
+    # A second tiny shared object holding the Local Function dispatch
+    # table: a vector of function pointers indexed by element id (§IV-B).
+    # Its ABS64 entries resolve against the package library at load time.
+    dispatch_elf: bytes = b""
+    header: str = ""         # generated "package header" (doc artifact)
+
+    def jam(self, name: str) -> JamArtifact:
+        for j in self.jams:
+            if j.name == name:
+                return j
+        raise PackageError(f"package {self.name!r} has no jam {name!r}")
+
+
+def _package_id(name: str) -> int:
+    return int.from_bytes(hashlib.sha256(name.encode()).digest()[:4],
+                          "little")
+
+
+def _build_jam_blob(jam: JamSource) -> JamArtifact:
+    """Compile one jam translation unit into an injectable blob."""
+    result = compile_amc(jam.source)
+    om: ObjectModule = result.module
+    entry = om.symbols.get(jam.name)
+    if entry is None or entry.section != "text":
+        raise PackageError(
+            f"jam {jam.name!r} must define a function named {jam.name!r}")
+    if om.bss_size:
+        raise PackageError(
+            f"jam {jam.name!r} has writable .bss state ({om.bss_size} B); "
+            "mutable state belongs in a ried, not in mobile code")
+    text = bytearray(om.text)
+    pad = 0
+    if jam.pad_code_to:
+        if jam.pad_code_to < len(text):
+            raise PackageError(
+                f"jam {jam.name!r}: natural code size {len(text)} exceeds "
+                f"pad_code_to={jam.pad_code_to}")
+        pad = jam.pad_code_to - len(text)
+        if pad % 8:
+            raise PackageError("pad_code_to must be instruction-aligned")
+    data = bytes(om.data)
+    data_base = len(text) + pad  # rodata rides after the (padded) code
+
+    for reloc in om.relocs:
+        if reloc.kind is RelocKind.GOTPC32:
+            continue  # rewritten wholesale below
+        if reloc.kind is RelocKind.PCREL32 and reloc.section == "text":
+            sym = om.symbols.get(reloc.symbol)
+            if sym is None:
+                raise PackageError(
+                    f"jam {jam.name!r}: PCREL to unknown {reloc.symbol!r}")
+            if sym.section == "bss":
+                raise PackageError(
+                    f"jam {jam.name!r} references .bss symbol {sym.name!r}")
+            target = sym.offset if sym.section == "text" else data_base + sym.offset
+            value = target - reloc.offset + reloc.addend
+            text[reloc.offset + 4: reloc.offset + 8] = \
+                (value & 0xFFFFFFFF).to_bytes(4, "little")
+        elif reloc.kind is RelocKind.ABS64:
+            raise PackageError(
+                f"jam {jam.name!r} embeds an absolute pointer in data; "
+                "injectable data must be position-independent")
+
+    patched = rewrite_got_accesses(bytes(text))
+    ldg_left, _ = count_got_accesses(patched)
+    if ldg_left:
+        raise PackageError("GOT rewrite left LDG instructions behind")
+    patched += b"\0" * pad  # NOP padding (opcode 0)
+    return JamArtifact(
+        name=jam.name,
+        element_id=-1,  # assigned by build_package
+        blob=patched + data,
+        entry_off=entry.offset,
+        text_size=len(patched),
+        rodata_size=len(data),
+        externs=list(om.externs),
+        assembly=result.assembly,
+    )
+
+
+def _merge_sources(jams: tuple[JamSource, ...], rieds: tuple[RiedSource, ...]
+                   ) -> str:
+    """The package library is one translation unit: rieds first (they
+    define the shared data jams bind to), then every jam unmodified."""
+    parts = [r.source for r in rieds] + [j.source for j in jams]
+    return "\n".join(parts)
+
+
+def _build_dispatch_table(name: str, jams: list[JamArtifact]) -> bytes:
+    """Build the Local Function dispatch vector as its own shared object.
+
+    The table is ``.quad jam_<a>, jam_<b>, ...`` in element-id order; each
+    entry is an ABS64 relocation against the package library's exported
+    function, resolved when the table is loaded (after the library).
+    """
+    from ..isa.assembler import assemble
+
+    lines = [f".extern {art.name}" for art in jams]
+    lines += [".data", ".align 8", f".global tc_dispatch_{name}",
+              f"tc_dispatch_{name}:"]
+    lines += [f"    .quad {art.name}" for art in jams]
+    return build_shared_object(assemble("\n".join(lines) + "\n"),
+                               soname=f"libtc_{name}_dispatch.so")
+
+
+def _generate_header(name: str, package_id: int, jams: list[JamArtifact]
+                     ) -> str:
+    lines = [
+        f"/* generated by the Two-Chains build tools — package {name!r} */",
+        f"#define TC_PACKAGE_{name.upper()}_ID {package_id:#010x}",
+    ]
+    for jam in jams:
+        lines.append(
+            f"#define TC_ELEM_{name.upper()}_{jam.name.upper()} "
+            f"{jam.element_id}  /* code {jam.code_size} B, "
+            f"{len(jam.externs)} GOT slots */")
+    return "\n".join(lines) + "\n"
+
+
+def build_package(name: str, jams: list[JamSource] | tuple[JamSource, ...],
+                  rieds: list[RiedSource] | tuple[RiedSource, ...] = ()
+                  ) -> PackageBuild:
+    """Build a Two-Chains package from jam and ried sources."""
+    jams = tuple(jams)
+    rieds = tuple(rieds)
+    if not jams:
+        raise PackageError("a package needs at least one jam")
+    names = [j.name for j in jams]
+    if len(set(names)) != len(names):
+        raise PackageError(f"duplicate jam names in package {name!r}")
+
+    artifacts = []
+    for element_id, jam in enumerate(jams):
+        art = _build_jam_blob(jam)
+        art.element_id = element_id
+        artifacts.append(art)
+
+    lib_src = _merge_sources(jams, rieds)
+    lib_om = compile_amc(lib_src).module
+    library_elf = build_shared_object(lib_om, soname=f"libtc_{name}.so")
+
+    pkg_id = _package_id(name)
+    return PackageBuild(
+        name=name,
+        package_id=pkg_id,
+        jams=artifacts,
+        library_elf=library_elf,
+        dispatch_elf=_build_dispatch_table(name, artifacts),
+        header=_generate_header(name, pkg_id, artifacts),
+    )

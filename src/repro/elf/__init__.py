@@ -1,0 +1,19 @@
+"""From-scratch ELF64: constants, structs, shared-object builder, reader."""
+
+from . import consts
+from .builder import build_shared_object
+from .reader import ElfImage, read_elf
+from .structs import Ehdr, ElfRela, ElfSym, Phdr, Shdr, StrTab
+
+__all__ = [
+    "Ehdr",
+    "ElfImage",
+    "ElfRela",
+    "ElfSym",
+    "Phdr",
+    "Shdr",
+    "StrTab",
+    "build_shared_object",
+    "consts",
+    "read_elf",
+]

@@ -1,0 +1,184 @@
+"""Shared-object builder: ObjectModule -> ELF64 image bytes.
+
+Layout (offset == vaddr, conventional for an ET_DYN first mapping)::
+
+    0x0000  ehdr + 2 phdrs
+    page    .text                       (PT_LOAD  R+X)
+    page    .got | .data | .bss        (PT_LOAD  R+W; .bss is memsz-only)
+    ...     .dynsym .dynstr .rela.dyn .shstrtab shdrs   (not loaded)
+
+Build-time relocation resolution: GOTPC32 and PCREL32 sites are patched
+directly into instruction immediates because the GOT/data live at fixed
+offsets from .text within the same object — exactly the situation
+``-fpic -fno-plt`` code is in after static linking.  What remains for the
+loader: GLOB_DAT (fill GOT slots with resolved symbol addresses) and
+RELATIVE (rebase data pointers).
+"""
+
+from __future__ import annotations
+
+from ..errors import ElfError
+from ..isa.assembler import ObjectModule, RelocKind
+from . import consts as C
+from .structs import Ehdr, ElfRela, ElfSym, Phdr, Shdr, StrTab
+
+
+def _align(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+def build_shared_object(om: ObjectModule, soname: str = "lib.so") -> bytes:
+    """Assemble an ELF64 shared object from an object module."""
+    header_size = C.EHDR_SIZE + 2 * C.PHDR_SIZE
+
+    text_off = _align(header_size, C.PAGE)
+    text_size = len(om.text)
+
+    rw_off = _align(text_off + max(text_size, 1), C.PAGE)
+    got_off = rw_off
+    got_size = om.got_size
+    data_off = got_off + got_size
+    data_size = len(om.data)
+    bss_off = _align(data_off + data_size, 8)
+    bss_size = om.bss_size
+    rw_filesz = bss_off - rw_off
+    rw_memsz = rw_filesz + bss_size
+
+    # ---- symbol table ----------------------------------------------------
+    dynstr = StrTab()
+    syms: list[ElfSym] = [ElfSym(0, 0, C.SHN_UNDEF, 0, 0)]  # null symbol
+    sym_index: dict[str, int] = {}
+
+    def section_vaddr(section: str, offset: int) -> int:
+        if section == "text":
+            return text_off + offset
+        if section == "data":
+            return data_off + offset
+        if section == "bss":
+            return bss_off + offset
+        raise ElfError(f"unknown section {section!r}")
+
+    # UND symbols for externs first, in GOT slot order, so that
+    # rela.dyn slot entries line up trivially.
+    for name in om.externs:
+        sym_index[name] = len(syms)
+        syms.append(ElfSym(dynstr.add(name),
+                           C.st_info(C.STB_GLOBAL, C.STT_NOTYPE),
+                           C.SHN_UNDEF, 0, 0, name=name))
+    # Defined symbols (locals included: useful for introspection).
+    shndx = {"text": 1, "got": 2, "data": 3, "bss": 4}
+    for name, sym in om.symbols.items():
+        if name in sym_index:
+            raise ElfError(f"symbol {name!r} both defined and extern")
+        bind = C.STB_GLOBAL if sym.is_global else C.STB_LOCAL
+        typ = C.STT_FUNC if sym.is_func else C.STT_OBJECT
+        sym_index[name] = len(syms)
+        syms.append(ElfSym(dynstr.add(name), C.st_info(bind, typ),
+                           shndx[sym.section],
+                           section_vaddr(sym.section, sym.offset), 0,
+                           name=name))
+
+    # ---- relocations -----------------------------------------------------
+    text = bytearray(om.text)
+    data = bytearray(om.data)
+    relas: list[ElfRela] = []
+
+    # One GLOB_DAT per GOT slot.
+    for slot, name in enumerate(om.externs):
+        relas.append(ElfRela(got_off + slot * 8,
+                             C.r_info(sym_index[name], C.R_CHAIN_GLOB_DAT), 0))
+
+    for reloc in om.relocs:
+        if reloc.kind is RelocKind.GOTPC32:
+            site = text_off + reloc.offset
+            value = got_off - site + reloc.addend
+            text[reloc.offset + 4: reloc.offset + 8] = \
+                (value & 0xFFFFFFFF).to_bytes(4, "little")
+        elif reloc.kind is RelocKind.PCREL32:
+            sym = om.symbols.get(reloc.symbol)
+            if sym is None:
+                raise ElfError(f"PCREL32 against undefined {reloc.symbol!r}")
+            site = section_vaddr(reloc.section, reloc.offset)
+            value = section_vaddr(sym.section, sym.offset) - site + reloc.addend
+            buf = text if reloc.section == "text" else data
+            buf[reloc.offset + 4: reloc.offset + 8] = \
+                (value & 0xFFFFFFFF).to_bytes(4, "little")
+        elif reloc.kind is RelocKind.ABS64:
+            sym = om.symbols.get(reloc.symbol)
+            if reloc.section != "data":
+                raise ElfError("ABS64 relocation outside .data")
+            if sym is not None:
+                target = section_vaddr(sym.section, sym.offset) + reloc.addend
+                relas.append(ElfRela(data_off + reloc.offset,
+                                     C.r_info(0, C.R_CHAIN_RELATIVE), target))
+            elif reloc.symbol in sym_index:  # extern: absolute at load time
+                relas.append(ElfRela(data_off + reloc.offset,
+                                     C.r_info(sym_index[reloc.symbol],
+                                              C.R_CHAIN_ABS64), reloc.addend))
+            else:
+                raise ElfError(f"ABS64 against unknown {reloc.symbol!r}")
+        else:  # pragma: no cover - exhaustive over RelocKind
+            raise ElfError(f"unhandled relocation kind {reloc.kind}")
+
+    # ---- non-loaded metadata ----------------------------------------------
+    dynsym_off = _align(rw_off + rw_filesz, 8)
+    dynsym_blob = b"".join(s.encode() for s in syms)
+    dynstr_off = dynsym_off + len(dynsym_blob)
+    dynstr_blob = bytes(dynstr.blob)
+    rela_off = _align(dynstr_off + len(dynstr_blob), 8)
+    rela_blob = b"".join(r.encode() for r in relas)
+
+    shstr = StrTab()
+    sections = [
+        Shdr(0, C.SHT_NULL, 0, 0, 0, 0),
+        Shdr(shstr.add(".text"), C.SHT_PROGBITS,
+             C.SHF_ALLOC | C.SHF_EXECINSTR, text_off, text_off, text_size),
+        Shdr(shstr.add(".got"), C.SHT_PROGBITS, C.SHF_ALLOC | C.SHF_WRITE,
+             got_off, got_off, got_size, sh_entsize=8),
+        Shdr(shstr.add(".data"), C.SHT_PROGBITS, C.SHF_ALLOC | C.SHF_WRITE,
+             data_off, data_off, data_size),
+        Shdr(shstr.add(".bss"), C.SHT_NOBITS, C.SHF_ALLOC | C.SHF_WRITE,
+             bss_off, bss_off, bss_size),
+        Shdr(shstr.add(".dynsym"), C.SHT_DYNSYM, 0, 0, dynsym_off,
+             len(dynsym_blob), sh_link=6, sh_info=1, sh_entsize=C.SYM_SIZE),
+        Shdr(shstr.add(".dynstr"), C.SHT_STRTAB, 0, 0, dynstr_off,
+             len(dynstr_blob)),
+        Shdr(shstr.add(".rela.dyn"), C.SHT_RELA, 0, 0, rela_off,
+             len(rela_blob), sh_link=5, sh_entsize=C.RELA_SIZE),
+    ]
+    shstrndx = len(sections)
+    shstrtab_off = rela_off + len(rela_blob)
+    sections.append(Shdr(shstr.add(".shstrtab"), C.SHT_STRTAB, 0, 0,
+                         shstrtab_off, 0))
+    shstr_blob = bytes(shstr.blob)
+    sections[shstrndx].sh_size = len(shstr_blob)
+    shoff = _align(shstrtab_off + len(shstr_blob), 8)
+
+    ehdr = Ehdr(e_phoff=C.EHDR_SIZE, e_shoff=shoff, e_phnum=2,
+                e_shnum=len(sections), e_shstrndx=shstrndx)
+    phdrs = [
+        Phdr(C.PT_LOAD, C.PF_R | C.PF_X, text_off, text_off,
+             text_size, text_size),
+        Phdr(C.PT_LOAD, C.PF_R | C.PF_W, rw_off, rw_off,
+             rw_filesz, rw_memsz),
+    ]
+
+    # ---- serialize ---------------------------------------------------------
+    image = bytearray(shoff + len(sections) * C.SHDR_SIZE)
+    image[0:C.EHDR_SIZE] = ehdr.encode()
+    cursor = C.EHDR_SIZE
+    for ph in phdrs:
+        image[cursor:cursor + C.PHDR_SIZE] = ph.encode()
+        cursor += C.PHDR_SIZE
+    image[text_off:text_off + text_size] = bytes(text)
+    # got is all zeros in the file (filled by the loader)
+    image[data_off:data_off + data_size] = bytes(data)
+    image[dynsym_off:dynsym_off + len(dynsym_blob)] = dynsym_blob
+    image[dynstr_off:dynstr_off + len(dynstr_blob)] = dynstr_blob
+    image[rela_off:rela_off + len(rela_blob)] = rela_blob
+    image[shstrtab_off:shstrtab_off + len(shstr_blob)] = shstr_blob
+    cursor = shoff
+    for sh in sections:
+        image[cursor:cursor + C.SHDR_SIZE] = sh.encode()
+        cursor += C.SHDR_SIZE
+    return bytes(image)

@@ -1,0 +1,87 @@
+"""ELF64 constants (the subset this toolchain emits and consumes).
+
+The images we build are genuine ELF64 little-endian shared objects; the
+only non-standard element is the machine number (there is no official one
+for the CHAIN ISA) and the CHAIN relocation types.
+"""
+
+from __future__ import annotations
+
+ELF_MAGIC = b"\x7fELF"
+ELFCLASS64 = 2
+ELFDATA2LSB = 1
+EV_CURRENT = 1
+
+ET_DYN = 3
+
+# Unofficial machine number for the CHAIN ISA ("ch" little-endian).
+EM_CHAIN = 0x6368
+
+EHDR_SIZE = 64
+PHDR_SIZE = 56
+SHDR_SIZE = 64
+SYM_SIZE = 24
+RELA_SIZE = 24
+
+# program header types / flags
+PT_LOAD = 1
+PF_X = 1
+PF_W = 2
+PF_R = 4
+
+# section header types
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_RELA = 4
+SHT_NOBITS = 8
+SHT_DYNSYM = 11
+
+# section flags
+SHF_WRITE = 0x1
+SHF_ALLOC = 0x2
+SHF_EXECINSTR = 0x4
+
+# symbol binding / type
+STB_LOCAL = 0
+STB_GLOBAL = 1
+STT_NOTYPE = 0
+STT_OBJECT = 1
+STT_FUNC = 2
+SHN_UNDEF = 0
+SHN_ABS = 0xFFF1
+
+
+def st_info(bind: int, typ: int) -> int:
+    return (bind << 4) | (typ & 0xF)
+
+
+def st_bind(info: int) -> int:
+    return info >> 4
+
+
+def st_type(info: int) -> int:
+    return info & 0xF
+
+
+# CHAIN relocation types (r_info = sym_index << 32 | type)
+R_CHAIN_NONE = 0
+R_CHAIN_GLOB_DAT = 1   # GOT slot <- address of symbol
+R_CHAIN_RELATIVE = 2   # *site <- load_bias + addend
+R_CHAIN_ABS64 = 3      # *site <- address of symbol + addend
+
+
+def r_info(sym: int, typ: int) -> int:
+    return (sym << 32) | typ
+
+
+def r_sym(info: int) -> int:
+    return info >> 32
+
+
+def r_type(info: int) -> int:
+    return info & 0xFFFFFFFF
+
+
+PAGE = 4096

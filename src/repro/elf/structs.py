@@ -1,0 +1,175 @@
+"""ELF64 header structures: encode/decode against the binary format."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..errors import ElfError
+from . import consts as C
+
+_EHDR = struct.Struct("<4sBBBBB7xHHIQQQIHHHHHH")
+_PHDR = struct.Struct("<IIQQQQQQ")
+_SHDR = struct.Struct("<IIQQQQIIQQ")
+_SYM = struct.Struct("<IBBHQQ")
+_RELA = struct.Struct("<QQq")
+
+
+@dataclass
+class Ehdr:
+    e_type: int = C.ET_DYN
+    e_machine: int = C.EM_CHAIN
+    e_entry: int = 0
+    e_phoff: int = 0
+    e_shoff: int = 0
+    e_flags: int = 0
+    e_phnum: int = 0
+    e_shnum: int = 0
+    e_shstrndx: int = 0
+
+    def encode(self) -> bytes:
+        return _EHDR.pack(
+            C.ELF_MAGIC, C.ELFCLASS64, C.ELFDATA2LSB, C.EV_CURRENT, 0, 0,
+            self.e_type, self.e_machine, C.EV_CURRENT,
+            self.e_entry, self.e_phoff, self.e_shoff, self.e_flags,
+            C.EHDR_SIZE, C.PHDR_SIZE, self.e_phnum,
+            C.SHDR_SIZE, self.e_shnum, self.e_shstrndx,
+        )
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "Ehdr":
+        if len(blob) < C.EHDR_SIZE:
+            raise ElfError("truncated ELF header")
+        (magic, eclass, edata, _ver, _abi, _abiver, e_type, e_machine,
+         _version, e_entry, e_phoff, e_shoff, e_flags, _ehsize, _phentsize,
+         e_phnum, _shentsize, e_shnum, e_shstrndx) = _EHDR.unpack_from(blob)
+        if magic != C.ELF_MAGIC:
+            raise ElfError("bad ELF magic")
+        if eclass != C.ELFCLASS64 or edata != C.ELFDATA2LSB:
+            raise ElfError("only ELF64 little-endian is supported")
+        return cls(e_type, e_machine, e_entry, e_phoff, e_shoff, e_flags,
+                   e_phnum, e_shnum, e_shstrndx)
+
+
+@dataclass
+class Phdr:
+    p_type: int
+    p_flags: int
+    p_offset: int
+    p_vaddr: int
+    p_filesz: int
+    p_memsz: int
+    p_align: int = C.PAGE
+
+    def encode(self) -> bytes:
+        return _PHDR.pack(self.p_type, self.p_flags, self.p_offset,
+                          self.p_vaddr, self.p_vaddr, self.p_filesz,
+                          self.p_memsz, self.p_align)
+
+    @classmethod
+    def decode(cls, blob: bytes, offset: int) -> "Phdr":
+        (p_type, p_flags, p_offset, p_vaddr, _paddr, p_filesz, p_memsz,
+         p_align) = _PHDR.unpack_from(blob, offset)
+        return cls(p_type, p_flags, p_offset, p_vaddr, p_filesz, p_memsz,
+                   p_align)
+
+
+@dataclass
+class Shdr:
+    sh_name: int
+    sh_type: int
+    sh_flags: int
+    sh_addr: int
+    sh_offset: int
+    sh_size: int
+    sh_link: int = 0
+    sh_info: int = 0
+    sh_addralign: int = 8
+    sh_entsize: int = 0
+    name: str = ""  # resolved by the reader
+
+    def encode(self) -> bytes:
+        return _SHDR.pack(self.sh_name, self.sh_type, self.sh_flags,
+                          self.sh_addr, self.sh_offset, self.sh_size,
+                          self.sh_link, self.sh_info, self.sh_addralign,
+                          self.sh_entsize)
+
+    @classmethod
+    def decode(cls, blob: bytes, offset: int) -> "Shdr":
+        return cls(*_SHDR.unpack_from(blob, offset))
+
+
+@dataclass
+class ElfSym:
+    st_name: int
+    st_info: int
+    st_shndx: int
+    st_value: int
+    st_size: int
+    name: str = ""
+
+    def encode(self) -> bytes:
+        return _SYM.pack(self.st_name, self.st_info, 0, self.st_shndx,
+                         self.st_value, self.st_size)
+
+    @classmethod
+    def decode(cls, blob: bytes, offset: int) -> "ElfSym":
+        st_name, st_info, _other, st_shndx, st_value, st_size = \
+            _SYM.unpack_from(blob, offset)
+        return cls(st_name, st_info, st_shndx, st_value, st_size)
+
+    @property
+    def bind(self) -> int:
+        return C.st_bind(self.st_info)
+
+    @property
+    def type(self) -> int:
+        return C.st_type(self.st_info)
+
+    @property
+    def defined(self) -> bool:
+        return self.st_shndx != C.SHN_UNDEF
+
+
+@dataclass
+class ElfRela:
+    r_offset: int
+    r_info: int
+    r_addend: int
+
+    def encode(self) -> bytes:
+        return _RELA.pack(self.r_offset, self.r_info, self.r_addend)
+
+    @classmethod
+    def decode(cls, blob: bytes, offset: int) -> "ElfRela":
+        return cls(*_RELA.unpack_from(blob, offset))
+
+    @property
+    def sym(self) -> int:
+        return C.r_sym(self.r_info)
+
+    @property
+    def type(self) -> int:
+        return C.r_type(self.r_info)
+
+
+@dataclass
+class StrTab:
+    """Builder for a string table section."""
+    blob: bytearray = field(default_factory=lambda: bytearray(b"\0"))
+    _index: dict[str, int] = field(default_factory=dict)
+
+    def add(self, text: str) -> int:
+        if not text:
+            return 0
+        off = self._index.get(text)
+        if off is None:
+            off = len(self.blob)
+            self.blob += text.encode() + b"\0"
+            self._index[text] = off
+        return off
+
+    @staticmethod
+    def read(blob: bytes, offset: int) -> str:
+        end = blob.index(b"\0", offset)
+        return blob[offset:end].decode()

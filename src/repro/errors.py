@@ -1,0 +1,98 @@
+"""Exception hierarchy for the Two-Chains reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulation kernel misuse (e.g. time going backwards)."""
+
+
+class MachineError(ReproError):
+    """Hardware-model errors: bad addresses, config mismatches."""
+
+
+class MemoryFault(MachineError):
+    """Access to unmapped memory or a permission violation (R/W/X)."""
+
+    def __init__(self, message: str, addr: int | None = None, kind: str = "access"):
+        super().__init__(message)
+        self.addr = addr
+        self.kind = kind
+
+
+class IsaError(ReproError):
+    """CHAIN ISA errors: bad encodings, assembler failures."""
+
+
+class AssemblerError(IsaError):
+    """Source-level assembly error, carries line information."""
+
+    def __init__(self, message: str, line: int | None = None):
+        super().__init__(f"line {line}: {message}" if line is not None else message)
+        self.line = line
+
+
+class VmFault(IsaError):
+    """Runtime fault raised by the CHAIN interpreter (illegal instruction,
+    memory fault while executing, call-depth overflow...)."""
+
+    def __init__(self, message: str, pc: int | None = None):
+        super().__init__(f"pc={pc:#x}: {message}" if pc is not None else message)
+        self.pc = pc
+
+
+class CompileError(ReproError):
+    """AMC mini-C compilation error."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        loc = "" if line is None else f"{line}:{col if col is not None else 0}: "
+        super().__init__(loc + message)
+        self.line = line
+        self.col = col
+
+
+class ElfError(ReproError):
+    """Malformed ELF image or unsupported feature."""
+
+
+class LinkError(ReproError):
+    """Loader/linker failures: unresolved symbols, bad relocations."""
+
+
+class UnresolvedSymbolError(LinkError):
+    def __init__(self, name: str):
+        super().__init__(f"unresolved symbol: {name!r}")
+        self.name = name
+
+
+class RdmaError(ReproError):
+    """RDMA verbs-model errors."""
+
+
+class RkeyViolation(RdmaError):
+    """Remote access rejected at the (simulated) hardware level: bad rkey,
+    out-of-bounds access, or insufficient permissions."""
+
+
+class UcpError(ReproError):
+    """mini-UCX layer errors."""
+
+
+class TwoChainsError(ReproError):
+    """Two-Chains runtime errors."""
+
+
+class PackageError(TwoChainsError):
+    """Jam/ried package build or load failure."""
+
+
+class MailboxError(TwoChainsError):
+    """Reactive-mailbox protocol violation (overrun, bad frame...)."""

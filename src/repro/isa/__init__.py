@@ -1,0 +1,45 @@
+"""CHAIN ISA: encoding, assembler, disassembler, interpreter, intrinsics."""
+
+from .assembler import (
+    Assembler,
+    ObjectModule,
+    Reloc,
+    RelocKind,
+    Symbol,
+    assemble,
+)
+from .disassembler import disassemble, format_instr
+from .encoding import Instr, decode, decode_program, encode_program
+from .intrinsics import IntrinsicTable
+from .opcodes import INSTR_BYTES, Op
+from .registers import LR, NREGS, SP, ZR, parse_reg, reg_name
+from .vm import NATIVE_BASE, RETURN_SENTINEL, CallResult, Vm, native_address
+
+__all__ = [
+    "Assembler",
+    "CallResult",
+    "INSTR_BYTES",
+    "Instr",
+    "IntrinsicTable",
+    "LR",
+    "NATIVE_BASE",
+    "NREGS",
+    "ObjectModule",
+    "Op",
+    "RETURN_SENTINEL",
+    "Reloc",
+    "RelocKind",
+    "SP",
+    "Symbol",
+    "Vm",
+    "ZR",
+    "assemble",
+    "decode",
+    "decode_program",
+    "disassemble",
+    "encode_program",
+    "format_instr",
+    "native_address",
+    "parse_reg",
+    "reg_name",
+]

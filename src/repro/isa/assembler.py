@@ -1,0 +1,497 @@
+"""Two-pass assembler for CHAIN assembly text.
+
+Produces an :class:`ObjectModule`: section byte images plus symbols,
+GOT-slot assignments for externs, and relocations left for the ELF builder
+(cross-section PC-relative references and GOT-base offsets are only known
+once the shared object is laid out).
+
+Syntax overview::
+
+    ; comment        # comment
+    .global jam_main
+    .extern tc_memcpy            ; allocates a GOT slot
+    .text
+    jam_main:
+        addi sp, sp, -16
+        st   lr, 0(sp)
+        ldg  t0, tc_memcpy       ; load extern address via GOT
+        callr t0
+        ld   lr, 0(sp)
+        addi sp, sp, 16
+        ret
+    .data
+    counter: .quad 0
+    table:   .quad jam_main      ; ABS64 relocation
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+from ..errors import AssemblerError
+from .encoding import IMM_MAX, IMM_MIN, Instr
+from .opcodes import INSTR_BYTES, Op
+from .registers import parse_reg
+
+
+class RelocKind(enum.Enum):
+    PCREL32 = "pcrel32"   # imm = S + A - P  (patched into instruction imm)
+    GOTPC32 = "gotpc32"   # imm = GOT_base + A - P (LDG; slot already encoded)
+    ABS64 = "abs64"       # 8 data bytes = load_bias + S + A
+
+
+@dataclass(frozen=True)
+class Reloc:
+    kind: RelocKind
+    section: str      # section containing the patch site
+    offset: int       # byte offset of the site within the section
+    symbol: str       # target symbol ("" for GOTPC32 — target is GOT base)
+    addend: int = 0
+
+
+@dataclass(frozen=True)
+class Symbol:
+    name: str
+    section: str
+    offset: int
+    is_global: bool
+    is_func: bool
+
+
+@dataclass
+class ObjectModule:
+    """Result of assembling one translation unit."""
+
+    text: bytes = b""
+    data: bytes = b""
+    bss_size: int = 0
+    symbols: dict[str, Symbol] = field(default_factory=dict)
+    externs: list[str] = field(default_factory=list)     # GOT slot order
+    relocs: list[Reloc] = field(default_factory=list)
+
+    def got_slot(self, name: str) -> int:
+        try:
+            return self.externs.index(name)
+        except ValueError:
+            raise AssemblerError(f"{name!r} has no GOT slot") from None
+
+    @property
+    def got_size(self) -> int:
+        return len(self.externs) * 8
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_TOKEN_SPLIT = re.compile(r"[,\s]+")
+_MEM_RE = re.compile(r"^(-?(?:0[xX][0-9a-fA-F]+|\d+))\(([^)]+)\)$")
+_STR_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+
+_IMM_OPS = {
+    "addi": Op.ADDI, "muli": Op.MULI, "andi": Op.ANDI, "ori": Op.ORI,
+    "xori": Op.XORI, "shli": Op.SHLI, "shri": Op.SHRI, "sari": Op.SARI,
+    "slti": Op.SLTI,
+}
+_REG3_OPS = {
+    "add": Op.ADD, "sub": Op.SUB, "mul": Op.MUL, "div": Op.DIV,
+    "rem": Op.REM, "and": Op.AND, "or": Op.OR, "xor": Op.XOR,
+    "shl": Op.SHL, "shr": Op.SHR, "sar": Op.SAR, "slt": Op.SLT,
+    "sltu": Op.SLTU,
+}
+_LOAD_OPS = {
+    "ld": Op.LD, "lw": Op.LW, "lwu": Op.LWU, "lh": Op.LH, "lhu": Op.LHU,
+    "lb": Op.LB, "lbu": Op.LBU,
+}
+_STORE_OPS = {"st": Op.ST, "sw": Op.SW, "sh": Op.SH, "sb": Op.SB}
+_CBRANCH_OPS = {
+    "beq": Op.BEQ, "bne": Op.BNE, "blt": Op.BLT, "bge": Op.BGE,
+    "bltu": Op.BLTU, "bgeu": Op.BGEU,
+}
+
+
+def _parse_int(tok: str, line: int) -> int:
+    tok = tok.strip()
+    try:
+        if len(tok) == 3 and tok[0] == "'" and tok[2] == "'":
+            return ord(tok[1])
+        return int(tok, 0)
+    except ValueError:
+        raise AssemblerError(f"bad integer literal {tok!r}", line) from None
+
+
+def _need_reg(tok: str, line: int) -> int:
+    reg = parse_reg(tok)
+    if reg is None:
+        raise AssemblerError(f"expected register, got {tok!r}", line)
+    return reg
+
+
+class Assembler:
+    """Two passes: collect labels/sizes, then emit bytes + relocations."""
+
+    def __init__(self) -> None:
+        self._reset()
+
+    def _reset(self) -> None:
+        self.text = bytearray()
+        self.data = bytearray()
+        self.bss_size = 0
+        self.section = "text"
+        self.symbols: dict[str, Symbol] = {}
+        self.globals: set[str] = set()
+        self.externs: list[str] = []
+        self.relocs: list[Reloc] = []
+        self.label_is_func: set[str] = set()
+
+    # -- public -----------------------------------------------------------
+
+    def assemble(self, source: str) -> ObjectModule:
+        self._reset()
+        lines = self._clean_lines(source)
+        labels = self._pass1(lines)
+        self._pass2(lines, labels)
+        return ObjectModule(
+            text=bytes(self.text),
+            data=bytes(self.data),
+            bss_size=self.bss_size,
+            symbols=self.symbols,
+            externs=self.externs,
+            relocs=self.relocs,
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _clean_lines(source: str) -> list[tuple[int, str]]:
+        out = []
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            # Strip comments, respecting quoted strings.
+            stripped = []
+            in_str = False
+            prev = ""
+            for ch in raw:
+                if ch == '"' and prev != "\\":
+                    in_str = not in_str
+                if ch in ";#" and not in_str:
+                    break
+                stripped.append(ch)
+                prev = ch
+            line = "".join(stripped).strip()
+            if line:
+                out.append((lineno, line))
+        return out
+
+    def _extern_slot(self, name: str, line: int) -> int:
+        try:
+            return self.externs.index(name)
+        except ValueError:
+            raise AssemblerError(
+                f"{name!r} used as extern but not declared with .extern", line
+            ) from None
+
+    def _data_directive_size(self, op: str, args: str, line: int) -> int:
+        if op == ".quad":
+            return 8 * len([a for a in args.split(",") if a.strip()])
+        if op == ".word":
+            return 4 * len([a for a in args.split(",") if a.strip()])
+        if op == ".byte":
+            return len([a for a in args.split(",") if a.strip()])
+        if op == ".zero":
+            return _parse_int(args, line)
+        if op == ".asciz":
+            m = _STR_RE.search(args)
+            if not m:
+                raise AssemblerError(".asciz needs a quoted string", line)
+            return len(self._unescape(m.group(1))) + 1
+        if op == ".align":
+            # handled inline by caller (depends on current offset)
+            return -1
+        raise AssemblerError(f"unknown data directive {op}", line)
+
+    @staticmethod
+    def _unescape(s: str) -> bytes:
+        return s.encode().decode("unicode_escape").encode("latin-1")
+
+    # -- pass 1: label addresses ---------------------------------------------
+
+    def _pass1(self, lines: list[tuple[int, str]]) -> dict[str, tuple[str, int]]:
+        labels: dict[str, tuple[str, int]] = {}
+        offsets = {"text": 0, "data": 0, "bss": 0}
+        section = "text"
+        pending_func = False
+        for lineno, line in lines:
+            while True:
+                m = _LABEL_RE.match(line)
+                if not m:
+                    break
+                name = m.group(1)
+                if name in labels:
+                    raise AssemblerError(f"duplicate label {name!r}", lineno)
+                labels[name] = (section, offsets[section])
+                if section == "text":
+                    self.label_is_func.add(name)
+                line = line[m.end():].strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            op = parts[0].lower()
+            args = parts[1] if len(parts) > 1 else ""
+            if op == ".text":
+                section = "text"
+            elif op == ".data":
+                section = "data"
+            elif op == ".bss":
+                section = "bss"
+            elif op in (".global", ".globl", ".extern", ".func"):
+                pass
+            elif op.startswith("."):
+                if section == "text":
+                    raise AssemblerError(f"{op} not allowed in .text", lineno)
+                if op == ".align":
+                    align = _parse_int(args, lineno)
+                    cur = offsets[section]
+                    offsets[section] = (cur + align - 1) // align * align
+                else:
+                    offsets[section] += self._data_directive_size(op, args, lineno)
+            else:
+                if section != "text":
+                    raise AssemblerError("instructions only allowed in .text", lineno)
+                offsets["text"] += self._instr_size(op, args, lineno)
+            _ = pending_func
+        return labels
+
+    def _instr_size(self, op: str, args: str, lineno: int) -> int:
+        """Size in bytes an instruction line will emit (pseudos may expand)."""
+        if op != "li":
+            return INSTR_BYTES
+        toks = [t for t in _TOKEN_SPLIT.split(args) if t]
+        if len(toks) != 2:
+            raise AssemblerError("li needs rd, imm", lineno)
+        value = _parse_int(toks[1], lineno) & (2**64 - 1)
+        low, high = value & 0xFFFFFFFF, value >> 32
+        low_signed = low - (1 << 32) if low >= (1 << 31) else low
+        if high == (0xFFFFFFFF if low_signed < 0 else 0):
+            return INSTR_BYTES
+        return 2 * INSTR_BYTES
+
+    # -- pass 2: emit ----------------------------------------------------------
+
+    def _pass2(self, lines: list[tuple[int, str]],
+               labels: dict[str, tuple[str, int]]) -> None:
+        self.section = "text"
+        for lineno, line in lines:
+            while True:
+                m = _LABEL_RE.match(line)
+                if not m:
+                    break
+                line = line[m.end():].strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            op = parts[0].lower()
+            args = parts[1].strip() if len(parts) > 1 else ""
+            if op.startswith("."):
+                self._directive(op, args, lineno, labels)
+            else:
+                self._instruction(op, args, lineno, labels)
+        # Materialize symbols for labels.
+        for name, (section, offset) in labels.items():
+            self.symbols[name] = Symbol(
+                name=name,
+                section=section,
+                offset=offset,
+                is_global=name in self.globals,
+                is_func=name in self.label_is_func,
+            )
+
+    def _directive(self, op: str, args: str, lineno: int,
+                   labels: dict[str, tuple[str, int]]) -> None:
+        if op == ".text":
+            self.section = "text"
+        elif op == ".data":
+            self.section = "data"
+        elif op == ".bss":
+            self.section = "bss"
+        elif op in (".global", ".globl"):
+            self.globals.add(args.strip())
+        elif op == ".extern":
+            name = args.strip()
+            if not name:
+                raise AssemblerError(".extern needs a symbol name", lineno)
+            if name not in self.externs:
+                self.externs.append(name)
+        elif op == ".func":
+            pass  # annotation only; functions are .text labels
+        elif self.section == "bss":
+            if op == ".zero":
+                self.bss_size += _parse_int(args, lineno)
+            elif op == ".align":
+                align = _parse_int(args, lineno)
+                self.bss_size = (self.bss_size + align - 1) // align * align
+            else:
+                raise AssemblerError(f"{op} not allowed in .bss", lineno)
+        elif self.section == "data":
+            self._data_emit(op, args, lineno, labels)
+        else:
+            raise AssemblerError(f"unexpected directive {op} in .text", lineno)
+
+    def _data_emit(self, op: str, args: str, lineno: int,
+                   labels: dict[str, tuple[str, int]]) -> None:
+        if op == ".align":
+            align = _parse_int(args, lineno)
+            while len(self.data) % align:
+                self.data.append(0)
+            return
+        if op == ".quad":
+            for item in (a.strip() for a in args.split(",") if a.strip()):
+                if item.lstrip("-").split("x")[0].isdigit() or item.startswith("0x"):
+                    value = _parse_int(item, lineno)
+                    self.data += (value & (2**64 - 1)).to_bytes(8, "little")
+                else:
+                    # symbol reference: ABS64 relocation
+                    self.relocs.append(Reloc(RelocKind.ABS64, "data",
+                                             len(self.data), item))
+                    self.data += b"\0" * 8
+            return
+        if op == ".word":
+            for item in (a.strip() for a in args.split(",") if a.strip()):
+                value = _parse_int(item, lineno)
+                self.data += (value & (2**32 - 1)).to_bytes(4, "little")
+            return
+        if op == ".byte":
+            for item in (a.strip() for a in args.split(",") if a.strip()):
+                self.data.append(_parse_int(item, lineno) & 0xFF)
+            return
+        if op == ".zero":
+            self.data += b"\0" * _parse_int(args, lineno)
+            return
+        if op == ".asciz":
+            m = _STR_RE.search(args)
+            if not m:
+                raise AssemblerError(".asciz needs a quoted string", lineno)
+            self.data += self._unescape(m.group(1)) + b"\0"
+            return
+        raise AssemblerError(f"unknown data directive {op}", lineno)
+
+    # -- instructions -------------------------------------------------------
+
+    def _emit(self, instr: Instr) -> None:
+        self.text += instr.encode()
+
+    def _branch_target(self, tok: str, lineno: int,
+                       labels: dict[str, tuple[str, int]]) -> int:
+        entry = labels.get(tok)
+        if entry is None:
+            raise AssemblerError(f"undefined label {tok!r}", lineno)
+        section, offset = entry
+        if section != "text":
+            raise AssemblerError(f"branch target {tok!r} not in .text", lineno)
+        return offset - len(self.text)
+
+    def _instruction(self, op: str, args: str, lineno: int,
+                     labels: dict[str, tuple[str, int]]) -> None:
+        toks = [t for t in _TOKEN_SPLIT.split(args) if t] if args else []
+
+        if op == "nop":
+            return self._emit(Instr(Op.NOP))
+        if op == "halt":
+            return self._emit(Instr(Op.HALT))
+        if op == "ret":
+            return self._emit(Instr(Op.RET))
+        if op in ("wfe", "sev"):
+            rs1 = _need_reg(toks[0], lineno) if toks else 0
+            return self._emit(Instr(Op.WFE if op == "wfe" else Op.SEV, rs1=rs1))
+
+        if op == "movi":
+            rd = _need_reg(toks[0], lineno)
+            return self._emit(Instr(Op.MOVI, rd=rd, imm=_parse_int(toks[1], lineno)))
+        if op == "movhi":
+            rd = _need_reg(toks[0], lineno)
+            return self._emit(Instr(Op.MOVHI, rd=rd, imm=_parse_int(toks[1], lineno)))
+        if op == "li":  # pseudo: load up to 64-bit constant
+            rd = _need_reg(toks[0], lineno)
+            value = _parse_int(toks[1], lineno) & (2**64 - 1)
+            low = value & 0xFFFFFFFF
+            high = value >> 32
+            low_signed = low - (1 << 32) if low >= (1 << 31) else low
+            if high == (0xFFFFFFFF if low_signed < 0 else 0):
+                return self._emit(Instr(Op.MOVI, rd=rd, imm=low_signed))
+            self._emit(Instr(Op.MOVI, rd=rd, imm=low_signed))
+            high_signed = high - (1 << 32) if high >= (1 << 31) else high
+            return self._emit(Instr(Op.MOVHI, rd=rd, imm=high_signed))
+        if op == "mov":
+            rd, rs1 = _need_reg(toks[0], lineno), _need_reg(toks[1], lineno)
+            return self._emit(Instr(Op.MOV, rd=rd, rs1=rs1))
+        if op == "adr":
+            rd = _need_reg(toks[0], lineno)
+            sym = toks[1]
+            if sym in labels and labels[sym][0] == "text":
+                return self._emit(Instr(Op.ADR, rd=rd,
+                                        imm=self._branch_target(sym, lineno, labels)))
+            self.relocs.append(Reloc(RelocKind.PCREL32, "text", len(self.text), sym))
+            return self._emit(Instr(Op.ADR, rd=rd, imm=0))
+
+        if op in _REG3_OPS:
+            rd = _need_reg(toks[0], lineno)
+            rs1 = _need_reg(toks[1], lineno)
+            rs2 = _need_reg(toks[2], lineno)
+            return self._emit(Instr(_REG3_OPS[op], rd=rd, rs1=rs1, rs2=rs2))
+
+        if op in _IMM_OPS:
+            rd = _need_reg(toks[0], lineno)
+            rs1 = _need_reg(toks[1], lineno)
+            imm = _parse_int(toks[2], lineno)
+            if not IMM_MIN <= imm <= IMM_MAX:
+                raise AssemblerError(f"immediate {imm} out of range", lineno)
+            return self._emit(Instr(_IMM_OPS[op], rd=rd, rs1=rs1, imm=imm))
+
+        if op in _LOAD_OPS or op in _STORE_OPS:
+            rd = _need_reg(toks[0], lineno)
+            m = _MEM_RE.match(toks[1]) if len(toks) > 1 else None
+            if not m:
+                raise AssemblerError(
+                    f"expected off(base) operand in {op}, got {args!r}", lineno)
+            imm = _parse_int(m.group(1), lineno)
+            rs1 = _need_reg(m.group(2), lineno)
+            table = _LOAD_OPS if op in _LOAD_OPS else _STORE_OPS
+            return self._emit(Instr(table[op], rd=rd, rs1=rs1, imm=imm))
+
+        if op == "b":
+            return self._emit(Instr(Op.B, imm=self._branch_target(toks[0], lineno,
+                                                                  labels)))
+        if op in _CBRANCH_OPS:
+            rs1 = _need_reg(toks[0], lineno)
+            rs2 = _need_reg(toks[1], lineno)
+            off = self._branch_target(toks[2], lineno, labels)
+            return self._emit(Instr(_CBRANCH_OPS[op], rs1=rs1, rs2=rs2, imm=off))
+        if op == "call":
+            target = toks[0]
+            if target in labels:
+                return self._emit(Instr(Op.CALL,
+                                        imm=self._branch_target(target, lineno,
+                                                                labels)))
+            raise AssemblerError(
+                f"call target {target!r} undefined (externs need ldg+callr)",
+                lineno)
+        if op == "callr":
+            return self._emit(Instr(Op.CALLR, rs1=_need_reg(toks[0], lineno)))
+        if op == "jr":
+            return self._emit(Instr(Op.JR, rs1=_need_reg(toks[0], lineno)))
+
+        if op in ("ldg", "ldgi"):
+            rd = _need_reg(toks[0], lineno)
+            sym = toks[1]
+            slot = self._extern_slot(sym, lineno)
+            if slot > 255:
+                raise AssemblerError("more than 256 GOT slots", lineno)
+            self.relocs.append(Reloc(RelocKind.GOTPC32, "text", len(self.text),
+                                     "", addend=0))
+            opcode = Op.LDG if op == "ldg" else Op.LDGI
+            return self._emit(Instr(opcode, rd=rd, rs2=slot, imm=0))
+
+        raise AssemblerError(f"unknown mnemonic {op!r}", lineno)
+
+
+def assemble(source: str) -> ObjectModule:
+    """Assemble CHAIN assembly text into an object module."""
+    return Assembler().assemble(source)

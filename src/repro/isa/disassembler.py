@@ -1,0 +1,70 @@
+"""Disassembler for CHAIN machine code (debugging + toolchain listings)."""
+
+from __future__ import annotations
+
+from .encoding import Instr, decode_program
+from .opcodes import (
+    BRANCH_OPS,
+    INSTR_BYTES,
+    LOAD_OPS,
+    STORE_OPS,
+    Op,
+)
+from .registers import reg_name
+
+_REG3 = {
+    Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.REM, Op.AND, Op.OR, Op.XOR,
+    Op.SHL, Op.SHR, Op.SAR, Op.SLT, Op.SLTU,
+}
+_IMM = {
+    Op.ADDI, Op.MULI, Op.ANDI, Op.ORI, Op.XORI, Op.SHLI, Op.SHRI, Op.SARI,
+    Op.SLTI,
+}
+_CBRANCH = {Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU}
+
+
+def format_instr(instr: Instr, addr: int | None = None) -> str:
+    """One instruction as canonical assembly text."""
+    op = instr.op
+    name = op.name.lower()
+    rd, rs1, rs2 = reg_name(instr.rd), reg_name(instr.rs1), reg_name(instr.rs2)
+    if op in (Op.NOP, Op.HALT, Op.RET):
+        return name
+    if op in (Op.WFE, Op.SEV):
+        return f"{name} {rs1}"
+    if op in (Op.MOVI, Op.MOVHI):
+        return f"{name} {rd}, {instr.imm}"
+    if op is Op.MOV:
+        return f"mov {rd}, {rs1}"
+    if op is Op.ADR:
+        target = f"{addr + instr.imm:#x}" if addr is not None else f"pc{instr.imm:+d}"
+        return f"adr {rd}, {target}"
+    if op in _REG3:
+        return f"{name} {rd}, {rs1}, {rs2}"
+    if op in _IMM:
+        return f"{name} {rd}, {rs1}, {instr.imm}"
+    if op in LOAD_OPS or op in STORE_OPS:
+        return f"{name} {rd}, {instr.imm}({rs1})"
+    if op in BRANCH_OPS:
+        target = f"{addr + instr.imm:#x}" if addr is not None else f"pc{instr.imm:+d}"
+        if op is Op.B or op is Op.CALL:
+            return f"{name} {target}"
+        return f"{name} {rs1}, {rs2}, {target}"
+    if op is Op.CALLR:
+        return f"callr {rs1}"
+    if op is Op.JR:
+        return f"jr {rs1}"
+    if op is Op.LDG:
+        return f"ldg {rd}, got[{instr.rs2}] (gotpc{instr.imm:+d})"
+    if op is Op.LDGI:
+        return f"ldgi {rd}, got[{instr.rs2}] (via *pc{instr.imm:+d})"
+    return f"{name} rd={instr.rd} rs1={instr.rs1} rs2={instr.rs2} imm={instr.imm}"
+
+
+def disassemble(code: bytes, base: int = 0) -> list[str]:
+    """Disassemble a code blob into ``addr: text`` lines."""
+    out = []
+    for idx, instr in enumerate(decode_program(code)):
+        addr = base + idx * INSTR_BYTES
+        out.append(f"{addr:#010x}: {format_instr(instr, addr)}")
+    return out

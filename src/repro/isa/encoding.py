@@ -1,0 +1,54 @@
+"""Binary encode/decode for CHAIN instructions."""
+
+from __future__ import annotations
+
+import struct
+from typing import NamedTuple
+
+from ..errors import IsaError
+from .opcodes import INSTR_BYTES, Op
+
+_WORD = struct.Struct("<BBBBi")
+
+IMM_MIN = -(1 << 31)
+IMM_MAX = (1 << 31) - 1
+
+
+class Instr(NamedTuple):
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def encode(self) -> bytes:
+        if not (0 <= self.rd < 256 and 0 <= self.rs1 < 256 and 0 <= self.rs2 < 256):
+            raise IsaError(f"register field out of range in {self}")
+        if not (IMM_MIN <= self.imm <= IMM_MAX):
+            raise IsaError(f"imm out of range in {self}")
+        return _WORD.pack(int(self.op), self.rd, self.rs1, self.rs2, self.imm)
+
+
+def decode(word: bytes | memoryview, offset: int = 0) -> Instr:
+    opb, rd, rs1, rs2, imm = _WORD.unpack_from(word, offset)
+    try:
+        op = Op(opb)
+    except ValueError as exc:
+        raise IsaError(f"illegal opcode {opb:#x}") from exc
+    return Instr(op, rd, rs1, rs2, imm)
+
+
+def decode_fields(word: bytes | memoryview, offset: int = 0
+                  ) -> tuple[int, int, int, int, int]:
+    """Raw field decode with no Op validation — the VM hot path."""
+    return _WORD.unpack_from(word, offset)
+
+
+def encode_program(instrs: list[Instr]) -> bytes:
+    return b"".join(i.encode() for i in instrs)
+
+
+def decode_program(blob: bytes) -> list[Instr]:
+    if len(blob) % INSTR_BYTES:
+        raise IsaError(f"code length {len(blob)} not a multiple of {INSTR_BYTES}")
+    return [decode(blob, off) for off in range(0, len(blob), INSTR_BYTES)]

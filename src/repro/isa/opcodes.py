@@ -1,0 +1,108 @@
+"""CHAIN ISA opcode table.
+
+Fixed 8-byte instruction word, little-endian:
+
+    byte 0   opcode
+    byte 1   rd
+    byte 2   rs1
+    byte 3   rs2        (doubles as the GOT slot index for LDG/LDGI)
+    bytes 4-7 imm       (signed 32-bit)
+
+The fixed width is the property the Two-Chains toolchain depends on: the
+GOT-access rewrite (``LDG`` -> ``LDGI``) is an in-place, same-size patch,
+so no other offset in the function moves (§III-B of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.IntEnum):
+    # control
+    NOP = 0x00
+    HALT = 0x01
+    WFE = 0x02       # wait-for-event on address in rs1 (runtime use only)
+    SEV = 0x03       # send-event (wakes WFE waiters on addr in rs1)
+
+    # moves / constants
+    MOVI = 0x08      # rd = sext(imm)
+    MOVHI = 0x09     # rd = (rd & 0xffffffff) | (imm << 32)
+    MOV = 0x0A       # rd = rs1
+    ADR = 0x0B       # rd = pc + imm   (PC of this instruction)
+
+    # register arithmetic
+    ADD = 0x10
+    SUB = 0x11
+    MUL = 0x12
+    DIV = 0x13       # signed; divide by zero faults
+    REM = 0x14
+    AND = 0x15
+    OR = 0x16
+    XOR = 0x17
+    SHL = 0x18
+    SHR = 0x19       # logical right
+    SAR = 0x1A       # arithmetic right
+    SLT = 0x1B       # rd = (rs1 < rs2) signed
+    SLTU = 0x1C
+
+    # immediate arithmetic (rd = rs1 OP sext(imm))
+    ADDI = 0x20
+    MULI = 0x21
+    ANDI = 0x22
+    ORI = 0x23
+    XORI = 0x24
+    SHLI = 0x25
+    SHRI = 0x26
+    SARI = 0x27
+    SLTI = 0x28
+
+    # memory: address = rs1 + sext(imm)
+    LD = 0x30        # 64-bit load
+    LW = 0x31        # 32-bit sign-extending load
+    LWU = 0x32
+    LH = 0x33
+    LHU = 0x34
+    LB = 0x35
+    LBU = 0x36
+    ST = 0x38        # 64-bit store of rd
+    SW = 0x39
+    SH = 0x3A
+    SB = 0x3B
+
+    # control flow; branch targets are byte offsets relative to this
+    # instruction's address
+    B = 0x40
+    BEQ = 0x41
+    BNE = 0x42
+    BLT = 0x43       # signed rs1 < rs2
+    BGE = 0x44
+    BLTU = 0x45
+    BGEU = 0x46
+    CALL = 0x48      # lr = pc+8; pc += imm
+    CALLR = 0x49     # lr = pc+8; pc = rs1
+    RET = 0x4A       # pc = lr
+    JR = 0x4B        # pc = rs1
+
+    # global-offset-table access (§III-B)
+    LDG = 0x50       # rd = *[pc + imm + slot*8]           (slot in rs2 byte)
+    LDGI = 0x51      # rd = *[ *(pc + imm) + slot*8 ]      (rewritten form)
+
+
+INSTR_BYTES = 8
+
+# Opcodes whose imm field is a PC-relative byte offset (branch targets).
+BRANCH_OPS = frozenset({
+    Op.B, Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU, Op.CALL,
+})
+
+LOAD_OPS = frozenset({Op.LD, Op.LW, Op.LWU, Op.LH, Op.LHU, Op.LB, Op.LBU})
+STORE_OPS = frozenset({Op.ST, Op.SW, Op.SH, Op.SB})
+
+# bytes moved by each memory op
+MEM_SIZE = {
+    Op.LD: 8, Op.ST: 8,
+    Op.LW: 4, Op.LWU: 4, Op.SW: 4,
+    Op.LH: 2, Op.LHU: 2, Op.SH: 2,
+    Op.LB: 1, Op.LBU: 1, Op.SB: 1,
+}

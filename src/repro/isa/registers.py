@@ -1,0 +1,69 @@
+"""CHAIN ISA register file definition.
+
+32 integer registers of 64 bits.  Calling convention (used by the AMC
+compiler and the runtime's invocation stubs):
+
+* ``a0``–``a7`` (x0–x7): arguments and return value (a0).
+* ``t0``–``t11`` (x8–x19): caller-saved temporaries.
+* ``s0``–``s7`` (x20–x27): callee-saved.
+* ``zr`` (x29): hardwired zero — reads 0, writes discarded.
+* ``lr`` (x30): link register.
+* ``sp`` (x31): stack pointer.
+
+x28 is reserved for the assembler as a scratch register (``at``).
+"""
+
+from __future__ import annotations
+
+NREGS = 32
+
+ZR = 29
+LR = 30
+SP = 31
+AT = 28  # assembler temporary
+
+REG_NAMES: dict[int, str] = {}
+REG_NUMBERS: dict[str, int] = {}
+
+
+def _register(name: str, num: int) -> None:
+    REG_NAMES.setdefault(num, name)
+    REG_NUMBERS[name] = num
+
+
+for _i in range(NREGS):
+    _register(f"x{_i}", _i)
+for _i in range(8):
+    _register(f"a{_i}", _i)
+for _i in range(12):
+    _register(f"t{_i}", 8 + _i)
+for _i in range(8):
+    _register(f"s{_i}", 20 + _i)
+_register("at", AT)
+_register("zr", ZR)
+_register("lr", LR)
+_register("sp", SP)
+
+
+def reg_name(num: int) -> str:
+    """Canonical disassembly name for a register number."""
+    if num == ZR:
+        return "zr"
+    if num == LR:
+        return "lr"
+    if num == SP:
+        return "sp"
+    if num == AT:
+        return "at"
+    if 0 <= num <= 7:
+        return f"a{num}"
+    if 8 <= num <= 19:
+        return f"t{num - 8}"
+    if 20 <= num <= 27:
+        return f"s{num - 20}"
+    return f"x{num}"
+
+
+def parse_reg(token: str) -> int | None:
+    """Register number for a source token, or None if not a register."""
+    return REG_NUMBERS.get(token.lower())

@@ -1,0 +1,338 @@
+"""CHAIN instruction-set interpreter.
+
+Executes machine code resident in a node's physical memory, charging every
+instruction fetch and data access to the node's cache hierarchy.  This is
+what makes "the function binary travelled in the message" observable: the
+receiver's VM fetches the *mailbox bytes* as instructions, so whether those
+bytes were stashed into the LLC or drained to DRAM changes execution time.
+
+The VM is synchronous with respect to the DES: ``call`` runs to completion
+and returns the simulated time the execution took; the caller advances the
+event clock.  ``WFE`` therefore faults here — event waits belong to the
+runtime layer, which models them against the engine.
+
+Cost model: the testbed CPU is a 2.6 GHz out-of-order superscalar; we charge
+a flat ~0.5 cycles/instruction (IPC 2) which covers L1-hit loads, plus the
+hierarchy latency beyond L1 for memory operations, plus intrinsic costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MemoryFault, VmFault
+from ..machine.node import Node
+from .encoding import decode_fields
+from .opcodes import MEM_SIZE, Op
+from .registers import LR, NREGS, SP, ZR
+
+MASK64 = (1 << 64) - 1
+SIGN64 = 1 << 63
+
+# Addresses at and above this are native intrinsic entry points, not memory.
+NATIVE_BASE = 0x7000_0000
+NATIVE_STRIDE = 16
+# `call()` plants this as the return address of the outermost frame.
+RETURN_SENTINEL = 0x7FFF_FF00
+
+# Flat per-instruction cost: 0.5 cycles at 2.6 GHz.
+CPI_NS = 0.5 / 2.6
+
+DEFAULT_STACK_BYTES = 64 * 1024
+
+
+def _sx(value: int) -> int:
+    """Unsigned 64-bit -> signed."""
+    return value - (1 << 64) if value & SIGN64 else value
+
+
+def _ux(value: int) -> int:
+    return value & MASK64
+
+
+@dataclass
+class CallResult:
+    ret: int          # a0 on return (signed)
+    elapsed_ns: float  # simulated execution time
+    steps: int        # instructions retired (intrinsics count as one)
+
+
+class Vm:
+    """One execution context pinned to a core of a node."""
+
+    def __init__(self, node: Node, core: int = 0, intrinsics=None,
+                 check_pages: bool = True):
+        from .intrinsics import IntrinsicTable  # local import to avoid cycle
+        self.node = node
+        self.core = core
+        self.intrinsics = intrinsics if intrinsics is not None else IntrinsicTable()
+        self.check_pages = check_pages
+        from ..machine.pages import PROT_RW
+        self.stack_base = node.map_region(DEFAULT_STACK_BYTES, PROT_RW,
+                                          align=4096, label="vmstack")
+        self.stack_top = self.stack_base + DEFAULT_STACK_BYTES
+
+    # ------------------------------------------------------------------
+    def call(self, entry: int, args: tuple[int, ...] = (), now: float = 0.0,
+             max_steps: int = 4_000_000) -> CallResult:
+        """Call the function at ``entry`` with up to 8 integer args.
+
+        Returns the signed a0 value and the simulated elapsed time.  The
+        executed code sees the node's real memory; any register state is
+        fresh per call (the runtime's invocation stub behaves likewise).
+        """
+        if len(args) > 8:
+            raise VmFault(f"more than 8 arguments ({len(args)})")
+        node = self.node
+        mem = node.mem
+        hier = node.hier
+        pages = node.pages
+        data = mem.data  # numpy view for fast fetch
+        core = self.core
+        l1_lat = hier.cfg.l1_lat
+
+        regs = [0] * NREGS
+        for i, a in enumerate(args):
+            regs[i] = _ux(int(a))
+        regs[SP] = self.stack_top
+        regs[LR] = RETURN_SENTINEL
+
+        pc = entry
+        elapsed = node.runnable_delay(core, now)  # preempted at entry?
+        steps = 0
+        cur_line = -1
+        watch = node._watch
+        check = self.check_pages
+
+        while True:
+            if pc == RETURN_SENTINEL:
+                break
+            if steps >= max_steps:
+                raise VmFault(f"step limit {max_steps} exceeded", pc=pc)
+            line = pc >> 6
+            if line != cur_line:
+                if check:
+                    pages.check_exec(pc, 8)
+                elapsed += hier.access_line(now + elapsed, core, line, "ifetch")
+                cur_line = line
+            if pc < 0 or pc + 8 > mem.size:
+                raise VmFault("instruction fetch out of memory", pc=pc)
+            op, rd, rs1, rs2, imm = decode_fields(data, pc)
+            steps += 1
+            elapsed += CPI_NS
+            next_pc = pc + 8
+
+            if op == Op.ADDI:
+                if rd != ZR:
+                    regs[rd] = _ux(regs[rs1] + imm)
+            elif op == Op.LD or (Op.LW <= op <= Op.LBU):
+                addr = _ux(regs[rs1] + imm)
+                size = MEM_SIZE[op]
+                if check:
+                    pages.check_read(addr, size)
+                lat = hier.access(now + elapsed, core, addr, size, "read")
+                if lat > l1_lat:
+                    elapsed += lat - l1_lat
+                if op == Op.LD:
+                    value = mem.read_u64(addr)
+                elif op == Op.LW:
+                    value = mem.read_u32(addr)
+                    value = _ux(value - (1 << 32) if value >= (1 << 31) else value)
+                elif op == Op.LWU:
+                    value = mem.read_u32(addr)
+                elif op == Op.LH or op == Op.LHU:
+                    value = int.from_bytes(mem.read(addr, 2), "little")
+                    if op == Op.LH and value >= (1 << 15):
+                        value = _ux(value - (1 << 16))
+                else:  # LB / LBU
+                    value = mem.read_u8(addr)
+                    if op == Op.LB and value >= (1 << 7):
+                        value = _ux(value - (1 << 8))
+                if rd != ZR:
+                    regs[rd] = value
+            elif Op.ST <= op <= Op.SB:
+                addr = _ux(regs[rs1] + imm)
+                size = MEM_SIZE[op]
+                if check:
+                    pages.check_write(addr, size)
+                lat = hier.access(now + elapsed, core, addr, size, "write")
+                if lat > l1_lat:
+                    elapsed += lat - l1_lat
+                value = regs[rd]
+                if op == Op.ST:
+                    mem.write_u64(addr, value)
+                elif op == Op.SW:
+                    mem.write_u32(addr, value)
+                elif op == Op.SH:
+                    mem.write(addr, (value & 0xFFFF).to_bytes(2, "little"))
+                else:
+                    mem.write_u8(addr, value)
+                if watch:
+                    node.notify_write(addr, size)
+            elif Op.ADD <= op <= Op.SLTU:
+                a, b = regs[rs1], regs[rs2]
+                if op == Op.ADD:
+                    value = a + b
+                elif op == Op.SUB:
+                    value = a - b
+                elif op == Op.MUL:
+                    value = a * b
+                elif op == Op.DIV:
+                    sa, sb = _sx(a), _sx(b)
+                    if sb == 0:
+                        raise VmFault("division by zero", pc=pc)
+                    q = abs(sa) // abs(sb)
+                    value = q if (sa < 0) == (sb < 0) else -q
+                elif op == Op.REM:
+                    sa, sb = _sx(a), _sx(b)
+                    if sb == 0:
+                        raise VmFault("division by zero", pc=pc)
+                    q = abs(sa) // abs(sb)
+                    if (sa < 0) != (sb < 0):
+                        q = -q
+                    value = sa - q * sb
+                elif op == Op.AND:
+                    value = a & b
+                elif op == Op.OR:
+                    value = a | b
+                elif op == Op.XOR:
+                    value = a ^ b
+                elif op == Op.SHL:
+                    value = a << (b & 63)
+                elif op == Op.SHR:
+                    value = a >> (b & 63)
+                elif op == Op.SAR:
+                    value = _sx(a) >> (b & 63)
+                elif op == Op.SLT:
+                    value = 1 if _sx(a) < _sx(b) else 0
+                else:  # SLTU
+                    value = 1 if a < b else 0
+                if rd != ZR:
+                    regs[rd] = _ux(value)
+            elif Op.MULI <= op <= Op.SLTI:
+                a = regs[rs1]
+                if op == Op.MULI:
+                    value = a * imm
+                elif op == Op.ANDI:
+                    value = a & _ux(imm)
+                elif op == Op.ORI:
+                    value = a | _ux(imm)
+                elif op == Op.XORI:
+                    value = a ^ _ux(imm)
+                elif op == Op.SHLI:
+                    value = a << (imm & 63)
+                elif op == Op.SHRI:
+                    value = a >> (imm & 63)
+                elif op == Op.SARI:
+                    value = _sx(a) >> (imm & 63)
+                else:  # SLTI
+                    value = 1 if _sx(a) < imm else 0
+                if rd != ZR:
+                    regs[rd] = _ux(value)
+            elif op == Op.B:
+                next_pc = pc + imm
+            elif Op.BEQ <= op <= Op.BGEU:
+                a, b = regs[rs1], regs[rs2]
+                if op == Op.BEQ:
+                    taken = a == b
+                elif op == Op.BNE:
+                    taken = a != b
+                elif op == Op.BLT:
+                    taken = _sx(a) < _sx(b)
+                elif op == Op.BGE:
+                    taken = _sx(a) >= _sx(b)
+                elif op == Op.BLTU:
+                    taken = a < b
+                else:
+                    taken = a >= b
+                if taken:
+                    next_pc = pc + imm
+            elif op == Op.MOVI:
+                if rd != ZR:
+                    regs[rd] = _ux(imm)
+            elif op == Op.MOVHI:
+                if rd != ZR:
+                    regs[rd] = (regs[rd] & 0xFFFFFFFF) | ((imm & 0xFFFFFFFF) << 32)
+            elif op == Op.MOV:
+                if rd != ZR:
+                    regs[rd] = regs[rs1]
+            elif op == Op.ADR:
+                if rd != ZR:
+                    regs[rd] = _ux(pc + imm)
+            elif op == Op.LDG:
+                got_entry = _ux(pc + imm + rs2 * 8)
+                if check:
+                    pages.check_read(got_entry, 8)
+                lat = hier.access(now + elapsed, core, got_entry, 8, "read")
+                if lat > l1_lat:
+                    elapsed += lat - l1_lat
+                if rd != ZR:
+                    regs[rd] = mem.read_u64(got_entry)
+            elif op == Op.LDGI:
+                ptr_loc = _ux(pc + imm)
+                if check:
+                    pages.check_read(ptr_loc, 8)
+                lat = hier.access(now + elapsed, core, ptr_loc, 8, "read")
+                if lat > l1_lat:
+                    elapsed += lat - l1_lat
+                got_base = mem.read_u64(ptr_loc)
+                got_entry = _ux(got_base + rs2 * 8)
+                if check:
+                    pages.check_read(got_entry, 8)
+                lat = hier.access(now + elapsed, core, got_entry, 8, "read")
+                if lat > l1_lat:
+                    elapsed += lat - l1_lat
+                if rd != ZR:
+                    regs[rd] = mem.read_u64(got_entry)
+            elif op == Op.CALL:
+                regs[LR] = pc + 8
+                next_pc = pc + imm
+            elif op == Op.CALLR:
+                target = regs[rs1]
+                regs[LR] = pc + 8
+                if target >= NATIVE_BASE:
+                    elapsed += self._run_native(target, regs, now + elapsed)
+                    next_pc = regs[LR]
+                else:
+                    next_pc = target
+            elif op == Op.RET:
+                next_pc = regs[LR]
+            elif op == Op.JR:
+                target = regs[rs1]
+                if target >= NATIVE_BASE and target != RETURN_SENTINEL:
+                    elapsed += self._run_native(target, regs, now + elapsed)
+                    next_pc = regs[LR]
+                else:
+                    next_pc = target
+            elif op == Op.NOP:
+                pass
+            elif op == Op.HALT:
+                break
+            elif op == Op.SEV:
+                node.notify_write(regs[rs1], 8)
+            elif op == Op.WFE:
+                raise VmFault(
+                    "WFE executed in synchronous VM context (runtime-only op)",
+                    pc=pc)
+            else:
+                raise VmFault(f"illegal opcode {op:#x}", pc=pc)
+
+            pc = next_pc
+
+        node.add_busy_ns(core, elapsed)
+        return CallResult(ret=_sx(regs[0]), elapsed_ns=elapsed, steps=steps)
+
+    # ------------------------------------------------------------------
+    def _run_native(self, target: int, regs: list[int], now: float) -> float:
+        idx, rem = divmod(target - NATIVE_BASE, NATIVE_STRIDE)
+        if rem or not self.intrinsics.valid_index(idx):
+            raise VmFault(f"call to bad native address {target:#x}")
+        args = tuple(_sx(regs[i]) for i in range(8))
+        ret, cost = self.intrinsics.invoke(idx, self, now, args)
+        regs[0] = _ux(int(ret))
+        return cost
+
+
+def native_address(index: int) -> int:
+    """Native entry-point address for intrinsic ``index``."""
+    return NATIVE_BASE + index * NATIVE_STRIDE

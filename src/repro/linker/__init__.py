@@ -1,0 +1,6 @@
+"""Runtime dynamic linking: namespaces and the dlopen-style loader."""
+
+from .loader import LoadedLibrary, Loader
+from .namespace import Namespace
+
+__all__ = ["LoadedLibrary", "Loader", "Namespace"]

@@ -1,0 +1,62 @@
+"""Per-process symbol namespace.
+
+Two-Chains deliberately avoids any central name registry (§II): each
+process resolves symbols with ordinary ELF loading, and remote linking
+works because cooperating processes load package libraries that define the
+same canonical names.  A :class:`Namespace` is that per-process resolution
+scope: native intrinsics (the "libc"), plus the exports of every library
+loaded so far, first definition wins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import UnresolvedSymbolError
+from ..isa.intrinsics import IntrinsicTable
+from ..isa.vm import native_address
+
+
+class Namespace:
+    def __init__(self, intrinsics: Optional[IntrinsicTable] = None):
+        self.intrinsics = intrinsics if intrinsics is not None else IntrinsicTable()
+        self._bindings: dict[str, int] = {}
+        self._origin: dict[str, str] = {}
+
+    def define(self, name: str, addr: int, origin: str = "<manual>") -> None:
+        """Bind ``name`` if not already bound (first definition wins)."""
+        if name not in self._bindings:
+            self._bindings[name] = addr
+            self._origin[name] = origin
+
+    def redefine(self, name: str, addr: int, origin: str = "<update>") -> None:
+        """Replace a binding — the library-replacement path (§III):
+        loading an updated library and redefining its names alters the
+        behaviour of subsequently (re)linked active messages."""
+        self._bindings[name] = addr
+        self._origin[name] = origin
+
+    def resolve(self, name: str) -> int:
+        addr = self.try_resolve(name)
+        if addr is None:
+            raise UnresolvedSymbolError(name)
+        return addr
+
+    def try_resolve(self, name: str) -> int | None:
+        addr = self._bindings.get(name)
+        if addr is not None:
+            return addr
+        idx = self.intrinsics.index_of(name)
+        if idx is not None:
+            return native_address(idx)
+        return None
+
+    def origin_of(self, name: str) -> str | None:
+        if name in self._bindings:
+            return self._origin[name]
+        if self.intrinsics.index_of(name) is not None:
+            return "<native>"
+        return None
+
+    def names(self) -> list[str]:
+        return sorted(set(self._bindings) | set(self.intrinsics.names()))

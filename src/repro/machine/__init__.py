@@ -1,0 +1,48 @@
+"""Simulated node hardware: memory, pages, caches, DRAM, prefetcher, noise."""
+
+from .cache import LINE_BYTES, SetAssocCache, line_of, lines_touched
+from .dram import Dram
+from .hierarchy import HierarchyConfig, MemoryHierarchy
+from .memory import BumpAllocator, PhysicalMemory, align_up
+from .node import Node
+from .noise import StressConfig, StressWorkload
+from .pages import (
+    PAGE_SIZE,
+    PROT_NONE,
+    PROT_R,
+    PROT_RW,
+    PROT_RWX,
+    PROT_RX,
+    PROT_W,
+    PROT_X,
+    PageTable,
+    prot_str,
+)
+from .prefetcher import StridePrefetcher
+
+__all__ = [
+    "BumpAllocator",
+    "Dram",
+    "HierarchyConfig",
+    "LINE_BYTES",
+    "MemoryHierarchy",
+    "Node",
+    "PAGE_SIZE",
+    "PROT_NONE",
+    "PROT_R",
+    "PROT_RW",
+    "PROT_RWX",
+    "PROT_RX",
+    "PROT_W",
+    "PROT_X",
+    "PageTable",
+    "PhysicalMemory",
+    "SetAssocCache",
+    "StressConfig",
+    "StressWorkload",
+    "StridePrefetcher",
+    "align_up",
+    "line_of",
+    "lines_touched",
+    "prot_str",
+]

@@ -1,0 +1,133 @@
+"""Physical memory of a simulated node.
+
+A flat little-endian byte-addressable array backed by numpy, with a simple
+aligned bump allocator.  The paper's servers carry 16 GB each; the
+simulation only ever touches a few megabytes (libraries, mailboxes, heap),
+so the default size is 64 MiB — addresses are *node-physical* and have no
+relation to host memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MachineError, MemoryFault
+
+LINE = 64  # cache-line size in bytes, fixed across the model
+
+
+def align_up(value: int, align: int) -> int:
+    if align <= 0 or align & (align - 1):
+        raise MachineError(f"alignment must be a power of two, got {align}")
+    return (value + align - 1) & ~(align - 1)
+
+
+class PhysicalMemory:
+    """Byte-addressable storage with bounds checking."""
+
+    def __init__(self, size: int = 64 * 1024 * 1024):
+        if size <= 0 or size % LINE:
+            raise MachineError("memory size must be a positive multiple of 64")
+        self.size = size
+        self.data = np.zeros(size, dtype=np.uint8)
+
+    def _check(self, addr: int, length: int) -> None:
+        if addr < 0 or length < 0 or addr + length > self.size:
+            raise MemoryFault(
+                f"physical access out of range: [{addr:#x}, {addr + length:#x})",
+                addr=addr,
+            )
+
+    # raw bytes ----------------------------------------------------------
+    def read(self, addr: int, length: int) -> bytes:
+        self._check(addr, length)
+        return self.data[addr : addr + length].tobytes()
+
+    def write(self, addr: int, payload: bytes | bytearray | memoryview) -> None:
+        length = len(payload)
+        self._check(addr, length)
+        self.data[addr : addr + length] = np.frombuffer(payload, dtype=np.uint8)
+
+    def fill(self, addr: int, length: int, value: int = 0) -> None:
+        self._check(addr, length)
+        self.data[addr : addr + length] = value & 0xFF
+
+    # scalars (little-endian) ---------------------------------------------
+    def read_u64(self, addr: int) -> int:
+        self._check(addr, 8)
+        return int.from_bytes(self.data[addr : addr + 8].tobytes(), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self._check(addr, 8)
+        self.data[addr : addr + 8] = np.frombuffer(
+            (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"), dtype=np.uint8
+        )
+
+    def read_u32(self, addr: int) -> int:
+        self._check(addr, 4)
+        return int.from_bytes(self.data[addr : addr + 4].tobytes(), "little")
+
+    def write_u32(self, addr: int, value: int) -> None:
+        self._check(addr, 4)
+        self.data[addr : addr + 4] = np.frombuffer(
+            (value & 0xFFFFFFFF).to_bytes(4, "little"), dtype=np.uint8
+        )
+
+    def read_u8(self, addr: int) -> int:
+        self._check(addr, 1)
+        return int(self.data[addr])
+
+    def write_u8(self, addr: int, value: int) -> None:
+        self._check(addr, 1)
+        self.data[addr] = value & 0xFF
+
+    def read_i64(self, addr: int) -> int:
+        v = self.read_u64(addr)
+        return v - (1 << 64) if v >= (1 << 63) else v
+
+    def write_i64(self, addr: int, value: int) -> None:
+        self.write_u64(addr, value & 0xFFFFFFFFFFFFFFFF)
+
+    # vector views --------------------------------------------------------
+    def view_i64(self, addr: int, count: int) -> np.ndarray:
+        """Zero-copy int64 view; requires 8-byte alignment."""
+        if addr % 8:
+            raise MemoryFault(f"unaligned i64 view at {addr:#x}", addr=addr)
+        self._check(addr, count * 8)
+        return self.data[addr : addr + count * 8].view(np.int64)
+
+
+class BumpAllocator:
+    """Aligned bump allocator over a PhysicalMemory region.
+
+    No free(): simulation runs are short-lived and regions (libraries,
+    mailboxes) live for the whole experiment.  ``reset`` rewinds wholesale.
+    """
+
+    def __init__(self, base: int, limit: int):
+        if base % LINE:
+            raise MachineError("allocator base must be line-aligned")
+        if limit <= base:
+            raise MachineError("allocator limit must exceed base")
+        self.base = base
+        self.limit = limit
+        self.cursor = base
+
+    def alloc(self, size: int, align: int = LINE) -> int:
+        if size <= 0:
+            raise MachineError(f"allocation size must be positive, got {size}")
+        addr = align_up(self.cursor, align)
+        if addr + size > self.limit:
+            raise MachineError(
+                f"allocator exhausted: need {size} at {addr:#x}, limit "
+                f"{self.limit:#x}"
+            )
+        self.cursor = addr + size
+        return addr
+
+    @property
+    def used(self) -> int:
+        return self.cursor - self.base
+
+    def reset(self) -> None:
+        self.cursor = self.base

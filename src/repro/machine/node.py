@@ -1,0 +1,122 @@
+"""A simulated server node: memory, pages, caches, cores, monitors.
+
+The node is the meeting point of the functional model (bytes in
+:class:`PhysicalMemory`) and the timing model (:class:`MemoryHierarchy`).
+CPU-side code (the CHAIN VM and the Two-Chains runtime) and the HCA DMA
+engine both go through the node so that watchpoints (the WFE monitor) and
+preemption state are observed consistently.
+"""
+
+from __future__ import annotations
+
+from ..errors import MachineError
+from ..sim.clock import CPU_CLOCK
+from ..sim.engine import Engine, Event
+from ..sim.trace import Scoreboard
+from .hierarchy import HierarchyConfig, MemoryHierarchy
+from .memory import BumpAllocator, PhysicalMemory
+from .pages import PROT_RW, PageTable
+
+# First 64 KiB is never mapped: null-pointer dereferences fault.
+_HEAP_BASE = 64 * 1024
+
+
+class Node:
+    """One server of the two-node testbed."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        node_id: int,
+        mem_size: int = 64 * 1024 * 1024,
+        hier_cfg: HierarchyConfig | None = None,
+    ):
+        self.engine = engine
+        self.node_id = node_id
+        self.mem = PhysicalMemory(mem_size)
+        self.pages = PageTable(mem_size)
+        self.alloc = BumpAllocator(_HEAP_BASE, mem_size)
+        self.hier = MemoryHierarchy(hier_cfg)
+        self.ncores = self.hier.cfg.ncores
+        self.board = Scoreboard()
+        # WFE monitors: line address -> Event fired on any write to the line.
+        self._watch: dict[int, Event] = {}
+        # Preemption (stress model): core is off-CPU until this time.
+        self.preempt_until = [0.0] * self.ncores
+
+    # -- allocation ---------------------------------------------------------
+
+    def map_region(self, size: int, prot: int = PROT_RW, align: int = 64,
+                   label: str = "") -> int:
+        """Allocate node memory and set its page permissions.
+
+        Permissions are per-page, so regions are padded out to page
+        granularity — two regions never share a page (a later mapping
+        would otherwise silently change an earlier one's protection).
+        """
+        from .pages import PAGE_SIZE
+        addr = self.alloc.alloc((size + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1),
+                                max(align, PAGE_SIZE))
+        self.pages.set_prot(addr, size, prot)
+        if label:
+            self.board.bump(f"map.{label}.bytes", size)
+        return addr
+
+    # -- WFE monitor ---------------------------------------------------------
+
+    def monitor_event(self, addr: int) -> Event:
+        """Event fired whenever the line containing ``addr`` is written
+        (by a local store or by inbound DMA) — the WFE wake-up source."""
+        line = addr >> 6
+        ev = self._watch.get(line)
+        if ev is None:
+            ev = self.engine.event(f"wfe:n{self.node_id}:{line:#x}")
+            self._watch[line] = ev
+        return ev
+
+    def notify_write(self, addr: int, size: int) -> None:
+        """Fire monitors overlapping [addr, addr+size); called by every
+        store path that can signal a waiter."""
+        if not self._watch:
+            return
+        first = addr >> 6
+        last = (addr + max(size, 1) - 1) >> 6
+        if last - first < 8:
+            for line in range(first, last + 1):
+                ev = self._watch.get(line)
+                if ev is not None:
+                    ev.fire()
+        else:  # large writes: intersect with the (small) watch set instead
+            for line, ev in list(self._watch.items()):
+                if first <= line <= last:
+                    ev.fire()
+
+    # -- preemption (stress workload) ----------------------------------------
+
+    def preempt(self, core: int, until: float) -> None:
+        if until > self.preempt_until[core]:
+            self.preempt_until[core] = until
+
+    def runnable_delay(self, core: int, now: float) -> float:
+        """Extra delay before ``core`` can run at ``now`` (0 if on-CPU)."""
+        return max(0.0, self.preempt_until[core] - now)
+
+    # -- cycle accounting ------------------------------------------------------
+
+    def add_busy_cycles(self, core: int, cycles: int) -> None:
+        self.board.bump(f"core{core}.busy_cycles", cycles)
+
+    def add_wait_cycles(self, core: int, cycles: int) -> None:
+        """Cycles burned in a spin-poll loop (the WFE figures count these)."""
+        self.board.bump(f"core{core}.wait_cycles", cycles)
+
+    def add_busy_ns(self, core: int, ns: float) -> None:
+        self.add_busy_cycles(core, CPU_CLOCK.ns_to_cycles(ns))
+
+    def cpu_cycles(self, core: int) -> int:
+        """Total cycles the core spent awake (busy + spinning)."""
+        return (self.board.count(f"core{core}.busy_cycles")
+                + self.board.count(f"core{core}.wait_cycles"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Node({self.node_id}, mem={self.mem.size >> 20}MiB)"

@@ -1,0 +1,93 @@
+"""Per-core stride prefetcher.
+
+Models the hardware prefetchers the paper's testbed can toggle from user
+space (custom 5.4 kernel, §VI-C).  The mechanism that matters for the
+stash-vs-nonstash figures is: once a sequential miss stream is detected,
+the prefetcher runs far enough ahead that DRAM latency is hidden and only
+DRAM *bandwidth* is consumed.  Small messages never train it; large
+messages do, which is why the stashing advantage narrows with size
+(Fig 9/10).
+
+A small fully-associative table of stream slots tracks (last line, stride,
+confidence).  Confidence ≥ TRAIN_THRESHOLD makes the stream "hot": demand
+accesses matching the prediction are served at prefetched latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+TRAIN_THRESHOLD = 2  # consecutive same-stride misses before a stream is hot
+MAX_STREAMS = 8      # stream slots per core (typical for server cores)
+MAX_DISTANCE = 16    # lines a prediction may run ahead of the last access
+
+
+@dataclass
+class _Stream:
+    last_line: int = -1
+    stride: int = 0
+    confidence: int = 0
+    tick: int = 0
+
+
+@dataclass
+class StridePrefetcher:
+    enabled: bool = True
+    streams: list[_Stream] = field(
+        default_factory=lambda: [_Stream() for _ in range(MAX_STREAMS)]
+    )
+    _tick: int = 0
+    trained_hits: int = 0
+
+    def observe_miss(self, line_addr: int) -> bool:
+        """Feed a demand miss; returns True when the miss was covered by a
+        hot stream (i.e. its latency is hidden by an in-flight prefetch)."""
+        if not self.enabled:
+            return False
+        self._tick += 1
+        # Look for the stream this miss continues.
+        best = None
+        exact = False
+        for s in self.streams:
+            if s.last_line < 0:
+                continue
+            delta = line_addr - s.last_line
+            if s.stride and delta and delta == s.stride:
+                best = s
+                exact = True
+                break
+            # An ascending trained stream runs ahead of the core by up to
+            # MAX_DISTANCE lines, so any forward jump inside that window
+            # (e.g. header -> payload -> signal byte -> next frame) lands
+            # on a line already in flight and keeps the stream alive.
+            if (s.stride > 0 and s.confidence >= TRAIN_THRESHOLD
+                    and 0 < delta <= MAX_DISTANCE):
+                best = s
+                exact = True
+                break
+            if 0 < abs(delta) <= MAX_DISTANCE and s.stride == 0:
+                best = best or s
+        if best is not None:
+            delta = line_addr - best.last_line
+            if exact:
+                best.confidence = min(best.confidence + 1, 8)
+            else:
+                best.stride = delta
+                best.confidence = 1
+            best.last_line = line_addr
+            best.tick = self._tick
+            if best.confidence >= TRAIN_THRESHOLD:
+                self.trained_hits += 1
+                return True
+            return False
+        # Allocate a new stream slot (LRU by tick).
+        victim = min(self.streams, key=lambda s: s.tick)
+        victim.last_line = line_addr
+        victim.stride = 0
+        victim.confidence = 0
+        victim.tick = self._tick
+        return False
+
+    def reset(self) -> None:
+        for s in self.streams:
+            s.last_line, s.stride, s.confidence, s.tick = -1, 0, 0, 0

@@ -1,0 +1,20 @@
+"""RDMA verbs model: memory regions/rkeys, queue pairs, two-node fabric."""
+
+from .fabric import Testbed
+from .mr import Access, MemoryRegion, MrTable
+from .params import DEFAULT_LINK, LinkParams
+from .verbs import Completion, Hca, QueuePair, WcStatus, connect
+
+__all__ = [
+    "Access",
+    "Completion",
+    "DEFAULT_LINK",
+    "Hca",
+    "LinkParams",
+    "MemoryRegion",
+    "MrTable",
+    "QueuePair",
+    "Testbed",
+    "WcStatus",
+    "connect",
+]

@@ -1,0 +1,55 @@
+"""The two-node back-to-back testbed (§VI-C) in one convenience object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.hierarchy import HierarchyConfig
+from ..machine.node import Node
+from ..sim.engine import Engine
+from ..sim.rng import RngPool
+from .params import DEFAULT_LINK, LinkParams
+from .verbs import Hca, QueuePair, connect
+
+
+@dataclass
+class Testbed:
+    """Two servers, two HCAs, one cable.  node0 is the client/initiator and
+    node1 the server/target in all benchmark shapes."""
+
+    __test__ = False  # not a pytest class despite the name
+
+    engine: Engine
+    rngs: RngPool
+    node0: Node
+    node1: Node
+    hca0: Hca
+    hca1: Hca
+    qp01: QueuePair   # node0 -> node1
+    qp10: QueuePair   # node1 -> node0
+
+    @classmethod
+    def create(cls, hier_cfg: HierarchyConfig | None = None,
+               link: LinkParams = DEFAULT_LINK, seed: int | None = None,
+               mem_size: int = 64 * 1024 * 1024) -> "Testbed":
+        from ..sim.rng import DEFAULT_SEED
+        engine = Engine()
+        rngs = RngPool(DEFAULT_SEED if seed is None else seed)
+        cfg0 = hier_cfg or HierarchyConfig()
+        # Each node gets its own hierarchy instance with identical config.
+        cfg1 = HierarchyConfig(**vars(cfg0))
+        node0 = Node(engine, 0, mem_size=mem_size, hier_cfg=cfg0)
+        node1 = Node(engine, 1, mem_size=mem_size, hier_cfg=cfg1)
+        hca0 = Hca(node0, link)
+        hca1 = Hca(node1, link)
+        qp01, qp10 = connect(engine, hca0, hca1)
+        return cls(engine, rngs, node0, node1, hca0, hca1, qp01, qp10)
+
+    def node(self, node_id: int) -> Node:
+        return self.node0 if node_id == 0 else self.node1
+
+    def hca(self, node_id: int) -> Hca:
+        return self.hca0 if node_id == 0 else self.hca1
+
+    def qp_from(self, node_id: int) -> QueuePair:
+        return self.qp01 if node_id == 0 else self.qp10

@@ -1,0 +1,84 @@
+"""Memory regions and RKEY protection (IBTA security model, §V).
+
+Registering memory for remote access yields a 32-bit RKEY derived from the
+region's address, length, permissions, and a per-HCA nonce — matching the
+paper's description of the IBTA mechanism it relies on.  Every inbound
+one-sided operation is validated against (rkey, bounds, permission) and
+rejected "at the hardware level" on mismatch.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+
+from ..errors import RdmaError, RkeyViolation
+
+
+class Access(enum.IntFlag):
+    LOCAL = 0
+    REMOTE_READ = 1
+    REMOTE_WRITE = 2
+    REMOTE_ATOMIC = 4
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    node_id: int
+    addr: int
+    length: int
+    access: Access
+    rkey: int
+    lkey: int
+
+    def covers(self, addr: int, size: int) -> bool:
+        return self.addr <= addr and addr + size <= self.addr + self.length
+
+    def check(self, addr: int, size: int, op: Access) -> None:
+        if not self.covers(addr, size):
+            raise RkeyViolation(
+                f"access [{addr:#x},{addr + size:#x}) outside MR "
+                f"[{self.addr:#x},{self.addr + self.length:#x})")
+        if not (self.access & op):
+            raise RkeyViolation(
+                f"MR rkey={self.rkey:#010x} lacks {op.name} permission")
+
+
+class MrTable:
+    """Per-HCA registered-region table keyed by rkey."""
+
+    def __init__(self, node_id: int, nonce: int = 0x5EED):
+        self.node_id = node_id
+        self.nonce = nonce
+        self._counter = 0
+        self._by_rkey: dict[int, MemoryRegion] = {}
+
+    def register(self, addr: int, length: int, access: Access) -> MemoryRegion:
+        if length <= 0:
+            raise RdmaError("cannot register an empty region")
+        self._counter += 1
+        digest = hashlib.sha256(
+            f"{self.nonce}:{addr}:{length}:{int(access)}:{self._counter}"
+            .encode()).digest()
+        rkey = int.from_bytes(digest[:4], "little") or 1
+        while rkey in self._by_rkey:  # extremely unlikely 32-bit collision
+            rkey = (rkey + 1) & 0xFFFFFFFF or 1
+        mr = MemoryRegion(self.node_id, addr, length, access, rkey,
+                          lkey=self._counter)
+        self._by_rkey[rkey] = mr
+        return mr
+
+    def deregister(self, mr: MemoryRegion) -> None:
+        self._by_rkey.pop(mr.rkey, None)
+
+    def validate(self, rkey: int, addr: int, size: int, op: Access
+                 ) -> MemoryRegion:
+        mr = self._by_rkey.get(rkey)
+        if mr is None:
+            raise RkeyViolation(f"unknown rkey {rkey:#010x}")
+        mr.check(addr, size, op)
+        return mr
+
+    def __len__(self) -> int:
+        return len(self._by_rkey)

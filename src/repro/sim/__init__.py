@@ -1,0 +1,20 @@
+"""Discrete-event simulation kernel (engine, clocks, RNG pool, tracing)."""
+
+from .clock import CPU_CLOCK, NOC_CLOCK, ClockDomain
+from .engine import At, Delay, Engine, Event, Process
+from .rng import DEFAULT_SEED, RngPool
+from .trace import Scoreboard
+
+__all__ = [
+    "At",
+    "CPU_CLOCK",
+    "ClockDomain",
+    "DEFAULT_SEED",
+    "Delay",
+    "Engine",
+    "Event",
+    "NOC_CLOCK",
+    "Process",
+    "RngPool",
+    "Scoreboard",
+]

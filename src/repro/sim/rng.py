@@ -1,0 +1,45 @@
+"""Deterministic random-number plumbing.
+
+One master seed per experiment; every stochastic component asks for a child
+generator derived from (master seed, component name).  Child streams are
+independent of spawn order, so adding a new noise source never perturbs the
+draws of existing ones — a property the tail-latency benchmarks rely on for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+DEFAULT_SEED = 20210901  # CLUSTER 2021 camera-ready month, arbitrary but fixed.
+
+
+class RngPool:
+    """Factory of named, independent ``numpy.random.Generator`` streams."""
+
+    def __init__(self, master_seed: int = DEFAULT_SEED):
+        self.master_seed = int(master_seed)
+        self._issued: dict[str, np.random.Generator] = {}
+
+    def child(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name`` (created on first use).
+
+        The same (seed, name) pair always yields an identical stream.
+        """
+        gen = self._issued.get(name)
+        if gen is None:
+            digest = hashlib.sha256(
+                f"{self.master_seed}:{name}".encode()
+            ).digest()
+            seed = int.from_bytes(digest[:8], "little")
+            gen = np.random.default_rng(seed)
+            self._issued[name] = gen
+        return gen
+
+    def issued_names(self) -> list[str]:
+        return sorted(self._issued)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RngPool(seed={self.master_seed}, issued={len(self._issued)})"

@@ -1,0 +1,60 @@
+"""Lightweight counters and sample recorders shared by the models.
+
+Components mutate a :class:`Scoreboard` rather than printing or logging;
+benchmarks read it afterwards.  Everything is plain dicts/lists so the hot
+path stays cheap.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+import numpy as np
+
+
+class Scoreboard:
+    """Named integer counters plus named sample series."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = defaultdict(int)
+        self.samples: dict[str, list[float]] = defaultdict(list)
+
+    # counters -----------------------------------------------------------
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def count(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    # samples ------------------------------------------------------------
+    def record(self, name: str, value: float) -> None:
+        self.samples[name].append(value)
+
+    def record_many(self, name: str, values: Iterable[float]) -> None:
+        self.samples[name].extend(values)
+
+    def series(self, name: str) -> np.ndarray:
+        return np.asarray(self.samples.get(name, ()), dtype=np.float64)
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.samples.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of the counters; used for interval deltas."""
+        return dict(self.counters)
+
+    def delta_since(self, snap: dict[str, int]) -> dict[str, int]:
+        out = {}
+        for name, value in self.counters.items():
+            d = value - snap.get(name, 0)
+            if d:
+                out[name] = d
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Scoreboard(counters={len(self.counters)}, "
+            f"series={len(self.samples)})"
+        )

@@ -1,0 +1,15 @@
+"""mini-UCX communication layer (workers, endpoints, protocol ladder)."""
+
+from .protocols import DEFAULT_PROTOCOLS, Protocol, protocol_cost_ns, select_protocol
+from .worker import UcpConfig, UcpEndpoint, UcpRequest, UcpWorker
+
+__all__ = [
+    "DEFAULT_PROTOCOLS",
+    "Protocol",
+    "UcpConfig",
+    "UcpEndpoint",
+    "UcpRequest",
+    "UcpWorker",
+    "protocol_cost_ns",
+    "select_protocol",
+]

@@ -1,0 +1,57 @@
+"""UCX-style size-dependent protocol selection.
+
+UCX changes the code path used to send a message based on its size
+(inline/short, eager bcopy, eager zcopy, fragmenting zcopy).  Each path
+trades fixed software cost against per-byte cost, so the *just over a
+threshold* sizes are locally pessimal — the artifact the paper calls out
+in §VII-A for the 8- and 256-integer Injected Function points.
+
+Thresholds are chosen so that the Indirect Put injected message (1472 B at
+one integer of payload, see the message-format module) crosses SHORT->BCOPY
+exactly between the 1- and 8-integer sweeps and BCOPY->ZCOPY between 128
+and 256 integers, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import UcpError
+
+
+@dataclass(frozen=True)
+class Protocol:
+    name: str
+    max_size: int          # inclusive upper bound for this path
+    fixed_ns: float        # software cost per operation
+    per_byte_ns: float     # software cost per byte (copies, segmentation)
+    bcopy: bool            # stages through a bounce buffer
+
+
+# The ladder: fixed cost rises, per-byte cost falls.
+DEFAULT_PROTOCOLS: tuple[Protocol, ...] = (
+    Protocol("short", 64, 38.0, 0.000, bcopy=False),
+    Protocol("eager-bcopy", 1472, 96.0, 0.050, bcopy=True),
+    Protocol("eager-zcopy", 2432, 185.0, 0.003, bcopy=False),
+    Protocol("multi-zcopy", 1 << 62, 235.0, 0.002, bcopy=False),
+)
+
+
+def select_protocol(size: int,
+                    table: tuple[Protocol, ...] = DEFAULT_PROTOCOLS
+                    ) -> Protocol:
+    if size < 0:
+        raise UcpError("negative message size")
+    for proto in table:
+        if size <= proto.max_size:
+            return proto
+    raise UcpError(f"no protocol admits size {size}")  # pragma: no cover
+
+
+def protocol_cost_ns(size: int,
+                     table: tuple[Protocol, ...] = DEFAULT_PROTOCOLS
+                     ) -> float:
+    """Software-path cost of sending ``size`` bytes (excl. copy staging,
+    which callers charge through the cache model when bcopy is chosen)."""
+    proto = select_protocol(size, table)
+    return proto.fixed_ns + proto.per_byte_ns * size

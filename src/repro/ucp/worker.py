@@ -1,0 +1,215 @@
+"""mini-UCX: contexts, workers, endpoints, non-blocking puts.
+
+This layer adds what the raw verbs model lacks and what UCX really does:
+protocol selection by size (see :mod:`.protocols`), request tracking, and
+completion detection by CQ polling.  The paper's §VII baseline ("UCX put")
+runs through this path including its flow-control/completion overheads;
+the Two-Chains runtime sends its mailbox frames through the same
+endpoints but manages flow control itself, which is exactly why its
+streaming bandwidth comes out ahead (Fig 6).
+
+Cost accounting contract: ``put_nbi`` returns a request carrying
+``cpu_ns`` — the sender-side software cost of the post.  Callers running
+inside a DES process must advance their clock by it (``yield
+Delay(req.cpu_ns)``); this is what makes software overhead limit message
+rate.  Completion handling costs are charged by ``drain_to``/``flush``
+(the serial bandwidth-test path); ``reap_completed`` retires finished
+requests for free — modelling progress calls that overlapped a wait, as
+in a latency test where the CPU spins anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import UcpError
+from ..machine.node import Node
+from ..machine.pages import PROT_RW
+from ..rdma.mr import Access, MemoryRegion
+from ..rdma.verbs import Completion, Hca, QueuePair
+from ..sim.engine import Engine
+from .protocols import DEFAULT_PROTOCOLS, Protocol, select_protocol
+
+
+@dataclass(frozen=True)
+class UcpConfig:
+    protocols: tuple[Protocol, ...] = DEFAULT_PROTOCOLS
+    # CPU cost of one ucp_worker_progress() poll of the CQ.
+    progress_poll_ns: float = 52.0
+    # Request bookkeeping per non-blocking op (alloc + state machine).
+    request_track_ns: float = 48.0
+    # CQE processing + request completion callback + release.
+    completion_process_ns: float = 140.0
+    # Flow-control credit accounting per tracked op (the "library
+    # overhead for flow control" of §VII).
+    fc_account_ns: float = 150.0
+    # Byte-based flow-control window: outstanding tracked puts are
+    # limited to ~fc_window_bytes of in-flight data (at least 1 op).
+    fc_window_bytes: int = 49152
+    max_window: int = 32
+    # Bounce-buffer pool for bcopy sends.
+    bounce_bytes: int = 64 * 1024
+
+
+@dataclass
+class UcpRequest:
+    size: int
+    protocol: str
+    completion: Completion
+    cpu_ns: float = 0.0
+    issued_at: float = 0.0
+
+    @property
+    def done_event(self):
+        return self.completion.event
+
+    @property
+    def done(self) -> bool:
+        return self.completion.event.fire_count > 0
+
+    @property
+    def ok(self) -> bool:
+        return self.completion.ok
+
+
+class UcpWorker:
+    """Per-process communication context + progress engine."""
+
+    def __init__(self, engine: Engine, node: Node, hca: Hca,
+                 cfg: UcpConfig | None = None, core: int = 0):
+        self.engine = engine
+        self.node = node
+        self.hca = hca
+        self.cfg = cfg or UcpConfig()
+        self.core = core
+        self.bounce = node.map_region(self.cfg.bounce_bytes, PROT_RW,
+                                      label="ucp.bounce")
+        self.progress_calls = 0
+        self.requests_issued = 0
+
+    def register(self, addr: int, length: int,
+                 access: Access = Access.REMOTE_READ | Access.REMOTE_WRITE
+                 ) -> MemoryRegion:
+        """ucp_mem_map + rkey pack, in one step."""
+        return self.hca.register_memory(addr, length, access)
+
+    def create_ep(self, qp: QueuePair) -> "UcpEndpoint":
+        if qp.src is not self.hca:
+            raise UcpError("endpoint must use a QP rooted at this worker's HCA")
+        return UcpEndpoint(self, qp)
+
+    def progress_cost(self) -> float:
+        """CPU time of one progress poll (callers advance the clock)."""
+        self.progress_calls += 1
+        self.node.add_busy_ns(self.core, self.cfg.progress_poll_ns)
+        return self.cfg.progress_poll_ns
+
+
+class UcpEndpoint:
+    """One-sided operations to one peer."""
+
+    def __init__(self, worker: UcpWorker, qp: QueuePair):
+        self.worker = worker
+        self.qp = qp
+        self.inflight: list[UcpRequest] = []
+
+    def _software_path(self, now: float, src_addr: int, size: int,
+                       zcopy_only: bool = False) -> tuple[float, int]:
+        """Protocol selection + staging.  Returns (cpu_ns, effective_src).
+
+        ``zcopy_only``: the source is pre-registered (Two-Chains mailbox
+        frames), so the eager-bcopy staging copy is skipped — the lane
+        switch and its fixed cost still apply, only the memcpy does not.
+        """
+        cfg = self.worker.cfg
+        node = self.worker.node
+        proto = select_protocol(size, cfg.protocols)
+        cost = proto.fixed_ns + (0.004 if zcopy_only and proto.bcopy
+                                 else proto.per_byte_ns) * size
+        src = src_addr
+        if proto.bcopy and size and not zcopy_only:
+            if size > cfg.bounce_bytes:
+                raise UcpError(f"bcopy of {size} exceeds bounce pool")
+            # Stage through the bounce buffer: a real memcpy through the
+            # sender's cache hierarchy.
+            node.mem.write(self.worker.bounce, node.mem.read(src_addr, size))
+            cost += node.hier.stream_cost(now, self.worker.core, src_addr,
+                                          size, "read")
+            cost += node.hier.stream_cost(now, self.worker.core,
+                                          self.worker.bounce, size, "write")
+            src = self.worker.bounce
+        return cost, src
+
+    def put_nbi(self, now: float, src_addr: int, remote_addr: int, size: int,
+                rkey: int, track: bool = True) -> UcpRequest:
+        """Non-blocking one-sided put.
+
+        ``track=True`` is the standard UCX path: request allocation,
+        flow-control accounting, and CQ tracking apply (drain with
+        ``flush``/``window_admit``).  The Two-Chains runtime passes
+        ``track=False``: its mailbox protocol owns flow control, so only
+        the transport software path applies (§VI-A).
+
+        The returned request's ``cpu_ns`` is the sender-side software
+        cost; process callers must ``yield Delay(req.cpu_ns)``.
+        """
+        now = max(now, self.engine_now())
+        cpu, eff_src = self._software_path(now, src_addr, size,
+                                           zcopy_only=not track)
+        # The doorbell/WQE write is CPU work on every path.
+        cpu += self.qp.src.link.post_overhead_ns
+        if track:
+            cpu += self.worker.cfg.request_track_ns
+        self.worker.node.add_busy_ns(self.worker.core, cpu)
+        proto = select_protocol(size, self.worker.cfg.protocols)
+        comp = self.qp.post_put(now + cpu, eff_src, remote_addr, size, rkey)
+        req = UcpRequest(size=size, protocol=proto.name, completion=comp,
+                         cpu_ns=cpu, issued_at=now)
+        self.worker.requests_issued += 1
+        if track:
+            self.inflight.append(req)
+        return req
+
+    def engine_now(self) -> float:
+        return self.worker.engine.now
+
+    # -- completion draining (generator helpers for DES processes) ----------
+
+    def window_for(self, size: int) -> int:
+        cfg = self.worker.cfg
+        return max(1, min(cfg.max_window, cfg.fc_window_bytes // max(size, 1)))
+
+    def drain_to(self, limit: int):
+        """Process body: progress until at most ``limit`` requests are in
+        flight, paying the CQ poll + completion processing serially (the
+        bandwidth-test path — nothing else overlaps the work)."""
+        cfg = self.worker.cfg
+        while len(self.inflight) > limit:
+            oldest = self.inflight[0]
+            yield self.worker.progress_cost()
+            if not oldest.done:
+                yield oldest.completion.event
+            self.inflight.pop(0)
+            retire = cfg.completion_process_ns + cfg.fc_account_ns
+            self.worker.node.add_busy_ns(self.worker.core, retire)
+            yield retire
+
+    def flush(self):
+        """Process body: wait for all in-flight puts to complete."""
+        yield from self.drain_to(0)
+
+    def window_admit(self, size: int = 1):
+        """Process body enforcing the byte-based flow-control window
+        before a new tracked put of ``size`` bytes."""
+        yield from self.drain_to(self.window_for(size) - 1)
+
+    def reap_completed(self) -> int:
+        """Retire already-completed requests at no cost: models progress
+        polls that ran while the CPU was spin-waiting on something else
+        (the latency-test path).  Returns the number reaped."""
+        reaped = 0
+        while self.inflight and self.inflight[0].done:
+            self.inflight.pop(0)
+            reaped += 1
+        return reaped

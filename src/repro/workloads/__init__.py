@@ -1,0 +1,6 @@
+"""Workload models: the stress interferer and application substrates."""
+
+from ..machine.noise import StressConfig, StressWorkload
+from .csr import build_csr, load_csr
+
+__all__ = ["StressConfig", "StressWorkload", "build_csr", "load_csr"]

@@ -1,0 +1,40 @@
+"""CSR graph helpers for the analytics workloads.
+
+The motivating applications (§I) operate on large shared graphs.  These
+helpers flatten a networkx graph to CSR arrays and load them into a
+server-side ried's exported symbols, which is how the examples and tests
+place "the data" on the node that receives injected analysis functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linker.loader import LoadedLibrary
+from ..machine.node import Node
+
+
+def build_csr(graph) -> tuple[np.ndarray, np.ndarray]:
+    """(xadj, adj) int64 arrays for an undirected networkx graph."""
+    n = graph.number_of_nodes()
+    xadj = np.zeros(n + 1, dtype=np.int64)
+    adj: list[int] = []
+    for v in range(n):
+        xadj[v] = len(adj)
+        adj.extend(sorted(graph.neighbors(v)))
+    xadj[n] = len(adj)
+    return xadj, np.asarray(adj, dtype=np.int64)
+
+
+def load_csr(node: Node, lib: LoadedLibrary, xadj: np.ndarray,
+             adj: np.ndarray, xadj_symbol: str = "g_xadj",
+             adj_symbol: str = "g_adj") -> None:
+    """Write CSR arrays into the ried's exported arrays on ``node``.
+
+    Raises if the ried's arrays are too small for the graph — sizes are
+    fixed at package build time, like any C static array.
+    """
+    xadj_addr = lib.symbol(xadj_symbol)
+    adj_addr = lib.symbol(adj_symbol)
+    node.mem.write(xadj_addr, xadj.astype("<i8").tobytes())
+    node.mem.write(adj_addr, adj.astype("<i8").tobytes())

@@ -1,0 +1,383 @@
+"""End-to-end AMC compiler tests: compile, load raw, execute on the VM."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amc import compile_amc, parse, tokenize
+from repro.errors import CompileError
+from repro.isa import Vm
+from repro.machine import PROT_RW
+from tests.util import fresh_node, native_got, raw_load
+
+
+def run_amc(source, args=(), entry="f", node=None, got_extra=None):
+    _, node = (None, node) if node is not None else fresh_node()
+    result = compile_amc(source)
+    vm = Vm(node)
+    got = native_got(vm.intrinsics,
+                     [e for e in result.module.externs
+                      if vm.intrinsics.index_of(e) is not None])
+    if got_extra:
+        got.update(got_extra)
+    syms = raw_load(node, result.module, got)
+    res = vm.call(syms[entry], args)
+    return res, node, syms, vm
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        toks = tokenize('long x = 0x1F; // c\n"s" \'a\'')
+        kinds = [t.kind for t in toks]
+        assert kinds == ["kw", "ident", "op", "int", "op", "string", "char",
+                         "eof"]
+        assert toks[3].value == 31
+
+    def test_block_comment_and_escapes(self):
+        toks = tokenize('/* multi\nline */ "a\\n" \'\\t\'')
+        assert toks[0].value == b"a\n"
+        assert toks[1].value == 9
+
+    def test_bad_char_reports_position(self):
+        with pytest.raises(CompileError) as info:
+            tokenize("long x;\n  @")
+        assert info.value.line == 2
+
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError, match="unterminated"):
+            tokenize('"abc')
+
+
+class TestParser:
+    def test_function_and_globals(self):
+        prog = parse("""
+            long counter = 3;
+            extern long tc_hash64(long x);
+            long f(long a) { return a; }
+        """)
+        assert len(prog.items) == 3
+        assert prog.functions()[0].name == "f"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CompileError):
+            parse("long f() { return 1 }")
+
+    def test_too_many_params(self):
+        params = ", ".join(f"long p{i}" for i in range(9))
+        with pytest.raises(CompileError, match="8 parameters"):
+            parse(f"long f({params}) {{ return 0; }}")
+
+    def test_invalid_assign_target(self):
+        with pytest.raises(CompileError, match="assignment target"):
+            parse("long f() { 1 = 2; }")
+
+
+class TestExecution:
+    def test_return_arithmetic(self):
+        res, *_ = run_amc("long f(long a, long b) { return (a + b) * 3 - 1; }",
+                          args=(2, 4))
+        assert res.ret == 17
+
+    def test_precedence_and_parentheses(self):
+        res, *_ = run_amc("long f() { return 2 + 3 * 4; }")
+        assert res.ret == 14
+        res, *_ = run_amc("long f() { return (2 + 3) * 4; }")
+        assert res.ret == 20
+
+    def test_locals_and_assignment(self):
+        res, *_ = run_amc("""
+            long f(long n) {
+                long a = 1;
+                long b;
+                b = a + n;
+                a = b * b;
+                return a;
+            }
+        """, args=(3,))
+        assert res.ret == 16
+
+    def test_while_loop_factorial(self):
+        res, *_ = run_amc("""
+            long f(long n) {
+                long acc = 1;
+                while (n > 1) { acc = acc * n; n = n - 1; }
+                return acc;
+            }
+        """, args=(6,))
+        assert res.ret == 720
+
+    def test_for_loop_sum(self):
+        res, *_ = run_amc("""
+            long f(long n) {
+                long s = 0;
+                for (long i = 1; i <= n; i = i + 1) { s = s + i; }
+                return s;
+            }
+        """, args=(100,))
+        assert res.ret == 5050
+
+    def test_two_for_loops_reusing_name(self):
+        res, *_ = run_amc("""
+            long f() {
+                long s = 0;
+                for (long i = 0; i < 3; i = i + 1) { s = s + 1; }
+                for (long i = 0; i < 4; i = i + 1) { s = s + 10; }
+                return s;
+            }
+        """)
+        assert res.ret == 43
+
+    def test_if_else_chains(self):
+        src = """
+            long f(long x) {
+                if (x < 0) { return -1; }
+                else if (x == 0) { return 0; }
+                else { return 1; }
+            }
+        """
+        assert run_amc(src, args=(-5,))[0].ret == -1
+        assert run_amc(src, args=(0,))[0].ret == 0
+        assert run_amc(src, args=(9,))[0].ret == 1
+
+    def test_break_continue(self):
+        res, *_ = run_amc("""
+            long f() {
+                long s = 0;
+                for (long i = 0; i < 10; i = i + 1) {
+                    if (i == 3) { continue; }
+                    if (i == 6) { break; }
+                    s = s + i;
+                }
+                return s;
+            }
+        """)
+        assert res.ret == 0 + 1 + 2 + 4 + 5
+
+    def test_short_circuit_and_or(self):
+        # `(x != 0) && (10 / x > 1)`: must not divide when x == 0.
+        src = """
+            long f(long x) {
+                if (x != 0 && 10 / x > 1) { return 1; }
+                return 0;
+            }
+        """
+        assert run_amc(src, args=(0,))[0].ret == 0
+        assert run_amc(src, args=(4,))[0].ret == 1
+        src_or = "long f(long x) { return x == 1 || x == 2; }"
+        assert run_amc(src_or, args=(2,))[0].ret == 1
+        assert run_amc(src_or, args=(5,))[0].ret == 0
+
+    def test_unary_ops(self):
+        assert run_amc("long f(long x) { return -x; }", args=(7,))[0].ret == -7
+        assert run_amc("long f(long x) { return !x; }", args=(7,))[0].ret == 0
+        assert run_amc("long f(long x) { return ~x; }", args=(0,))[0].ret == -1
+
+    def test_bitwise_and_shifts(self):
+        res, *_ = run_amc(
+            "long f(long a, long b) { return ((a & b) | 1) ^ (a << 2); }",
+            args=(6, 3))
+        assert res.ret == ((6 & 3) | 1) ^ (6 << 2)
+
+    def test_local_function_calls(self):
+        res, *_ = run_amc("""
+            long square(long x) { return x * x; }
+            long f(long n) { return square(n) + square(n + 1); }
+        """, args=(3,))
+        assert res.ret == 9 + 16
+
+    def test_recursion(self):
+        res, *_ = run_amc("""
+            long fib(long n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            long f(long n) { return fib(n); }
+        """, args=(12,))
+        assert res.ret == 144
+
+    def test_temps_survive_calls(self):
+        # `n + g(n)`: n is live in a temp across the call.
+        res, *_ = run_amc("""
+            long g(long x) { return x * 10; }
+            long f(long n) { return n + g(n) + n; }
+        """, args=(2,))
+        assert res.ret == 2 + 20 + 2
+
+
+class TestPointersAndGlobals:
+    def test_pointer_deref_and_store(self):
+        _, node = fresh_node()
+        buf = node.map_region(64, PROT_RW)
+        node.mem.write_i64(buf, 5)
+        res, node, *_ = run_amc("""
+            long f(long* p) {
+                *p = *p + 1;
+                return *p;
+            }
+        """, args=(buf,), node=node)
+        assert res.ret == 6
+        assert node.mem.read_i64(buf) == 6
+
+    def test_indexing_with_scaling(self):
+        _, node = fresh_node()
+        buf = node.map_region(128, PROT_RW)
+        for i in range(8):
+            node.mem.write_i64(buf + 8 * i, 10 * i)
+        res, *_ = run_amc("""
+            long f(long* p, long n) {
+                long s = 0;
+                for (long i = 0; i < n; i = i + 1) { s = s + p[i]; }
+                return s;
+            }
+        """, args=(buf, 8), node=node)
+        assert res.ret == sum(10 * i for i in range(8))
+
+    def test_char_pointer_byte_access(self):
+        _, node = fresh_node()
+        buf = node.map_region(64, PROT_RW)
+        node.mem.write(buf, b"abc")
+        res, node, *_ = run_amc("""
+            long f(char* s) {
+                s[1] = 'B';
+                return s[0] + s[2];
+            }
+        """, args=(buf,), node=node)
+        assert res.ret == ord("a") + ord("c")
+        assert node.mem.read(buf, 3) == b"aBc"
+
+    def test_pointer_arithmetic_scaled(self):
+        _, node = fresh_node()
+        buf = node.map_region(64, PROT_RW)
+        node.mem.write_i64(buf + 16, 99)
+        res, *_ = run_amc("long f(long* p) { return *(p + 2); }",
+                          args=(buf,), node=node)
+        assert res.ret == 99
+
+    def test_global_counter(self):
+        res, *_ = run_amc("""
+            long counter = 10;
+            long f() {
+                counter = counter + 5;
+                return counter;
+            }
+        """)
+        assert res.ret == 15
+
+    def test_global_array_bss(self):
+        res, *_ = run_amc("""
+            long table[4];
+            long f() {
+                for (long i = 0; i < 4; i = i + 1) { table[i] = i * i; }
+                return table[3];
+            }
+        """)
+        assert res.ret == 9
+
+    def test_address_of_local(self):
+        res, *_ = run_amc("""
+            long bump(long* p) { *p = *p + 1; return 0; }
+            long f() {
+                long x = 41;
+                bump(&x);
+                return x;
+            }
+        """)
+        assert res.ret == 42
+
+    def test_string_literal_and_puts(self):
+        res, _, _, vm = run_amc("""
+            extern long tc_puts(char* s);
+            long f() { return tc_puts("hello from amc"); }
+        """)
+        assert vm.intrinsics.stdout == ["hello from amc"]
+        assert res.ret == len("hello from amc")
+
+    def test_extern_global_via_got(self):
+        _, node = fresh_node()
+        cell = node.map_region(64, PROT_RW)
+        node.mem.write_i64(cell, 123)
+        res, node, *_ = run_amc("""
+            extern long remote_counter;
+            long f() {
+                remote_counter = remote_counter * 2;
+                return remote_counter;
+            }
+        """, node=node, got_extra={"remote_counter": cell})
+        assert res.ret == 246
+        assert node.mem.read_i64(cell) == 246
+
+    def test_extern_array_via_got(self):
+        _, node = fresh_node()
+        arr = node.map_region(64, PROT_RW)
+        res, node, *_ = run_amc("""
+            extern long results[];
+            long f(long v) { results[2] = v; return results[2]; }
+        """, args=(55,), node=node, got_extra={"results": arr})
+        assert node.mem.read_i64(arr + 16) == 55
+
+    def test_intrinsic_call_from_amc(self):
+        _, node = fresh_node()
+        buf = node.map_region(128, PROT_RW)
+        for i in range(4):
+            node.mem.write_i64(buf + 8 * i, i + 1)
+        res, *_ = run_amc("""
+            extern long tc_sum64(long* p, long n);
+            long f(long* p) { return tc_sum64(p, 4); }
+        """, args=(buf,), node=node)
+        assert res.ret == 10
+
+
+class TestErrors:
+    def test_undefined_variable(self):
+        with pytest.raises(CompileError, match="undefined identifier"):
+            run_amc("long f() { return ghost; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(CompileError, match="undefined function"):
+            run_amc("long f() { return g(); }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(CompileError, match="expects 2"):
+            run_amc("""
+                long g(long a, long b) { return a; }
+                long f() { return g(1); }
+            """)
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(CompileError, match="non-pointer"):
+            run_amc("long f(long x) { return *x; }")
+
+    def test_index_non_pointer(self):
+        with pytest.raises(CompileError, match="indexing a non-pointer"):
+            run_amc("long f(long x) { return x[0]; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError, match="break outside"):
+            run_amc("long f() { break; return 0; }")
+
+    def test_add_two_pointers(self):
+        with pytest.raises(CompileError, match="add two pointers"):
+            run_amc("long f(long* a, long* b) { return a + b; }")
+
+
+class TestPropertyArithmetic:
+    @settings(max_examples=25, deadline=None)
+    @given(a=st.integers(-10**9, 10**9), b=st.integers(-10**9, 10**9),
+           c=st.integers(1, 1000))
+    def test_property_expression_matches_python(self, a, b, c):
+        src = "long f(long a, long b, long c) { return (a + b) * 2 - a / c + (b % c); }"
+        res, *_ = run_amc(src, args=(a, b, c))
+        expected = (a + b) * 2 - c_div(a, c) + c_mod(b, c)
+        assert res.ret == expected
+
+
+def c_div(x, m):
+    """C-style division (truncate toward zero)."""
+    q = abs(x) // abs(m)
+    return q if (x < 0) == (m < 0) else -q
+
+
+def c_mod(x, m):
+    """C-style remainder (sign follows dividend)."""
+    r = abs(x) % abs(m)
+    return -r if x < 0 else r

@@ -1,0 +1,46 @@
+"""Tests for figure-result structure and text rendering."""
+
+from repro.bench.figures import FigureResult
+from repro.bench.report import render_figure
+
+
+def make_result():
+    return FigureResult(
+        figure="figX",
+        title="demo figure",
+        x_label="size",
+        x=[64, 128],
+        series={"a_ns": [1.0, 2.5], "b_ns": [3.0, 4.0]},
+        metrics={"max_gain": 1.5},
+        notes="a note",
+    )
+
+
+class TestFigureResult:
+    def test_as_rows_aligns_series(self):
+        rows = make_result().as_rows()
+        assert rows[0] == ["size", "a_ns", "b_ns"]
+        assert rows[1] == [64, 1.0, 3.0]
+        assert rows[2] == [128, 2.5, 4.0]
+
+
+class TestRender:
+    def test_render_contains_everything(self):
+        text = render_figure(make_result())
+        assert "figX" in text and "demo figure" in text
+        assert "size" in text and "a_ns" in text
+        assert "max_gain" in text
+        assert "a note" in text
+
+    def test_render_large_numbers_compact(self):
+        result = make_result()
+        result.series["a_ns"] = [4.2e6, 8.1e6]
+        text = render_figure(result)
+        assert "4.2e+06" in text
+
+    def test_columns_aligned(self):
+        text = render_figure(make_result())
+        lines = [l for l in text.splitlines()
+                 if l and not l.startswith(("==", "metrics", "  ", "note"))]
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # header, rule, and rows share one width

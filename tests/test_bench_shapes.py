@@ -1,0 +1,120 @@
+"""Integration tests for the benchmark shapes (small configurations)."""
+
+import pytest
+
+from repro.bench import (
+    am_injection_rate,
+    am_pingpong,
+    ucx_put_pingpong,
+    ucx_put_stream,
+)
+from repro.core import RuntimeConfig, WaitMode
+from repro.core.stdworld import make_world
+from repro.machine import HierarchyConfig
+
+
+class TestAmPingPong:
+    def test_latencies_positive_and_stable(self):
+        world = make_world()
+        out = am_pingpong(world, "jam_ss_sum", 64, warmup=6, iters=20)
+        assert out.stats.n == 20
+        assert out.stats.minimum > 300.0  # physically plausible half-RTT
+        # deterministic without stress: every iteration identical at
+        # steady state
+        assert out.stats.maximum - out.stats.minimum < 0.25 * out.stats.p50
+
+    def test_larger_payload_higher_latency(self):
+        w1 = make_world()
+        small = am_pingpong(w1, "jam_ss_sum", 64, warmup=6, iters=12)
+        w2 = make_world()
+        big = am_pingpong(w2, "jam_ss_sum", 16384, warmup=6, iters=12)
+        assert big.stats.p50 > small.stats.p50
+
+    def test_without_execution_is_faster(self):
+        w1 = make_world()
+        run = am_pingpong(w1, "jam_indirect_put", 512, warmup=6, iters=12)
+        w2 = make_world()
+        skip = am_pingpong(w2, "jam_indirect_put", 512, no_exec=True,
+                           warmup=6, iters=12)
+        assert skip.stats.p50 < run.stats.p50
+
+    def test_deterministic_across_runs(self):
+        def one():
+            return am_pingpong(make_world(), "jam_ss_sum", 256,
+                               warmup=4, iters=10).stats.p50
+        assert one() == one()
+
+    def test_stress_adds_noise_and_tails(self):
+        quiet = am_pingpong(make_world(), "jam_ss_sum", 256,
+                            warmup=6, iters=60)
+        noisy = am_pingpong(make_world(), "jam_ss_sum", 256,
+                            warmup=6, iters=60, stress=True)
+        # With stashing on, the median barely moves (the message path
+        # avoids DRAM); the tail is where the stress shows up.
+        assert noisy.stats.p50 >= quiet.stats.p50
+        assert noisy.stats.maximum > quiet.stats.maximum * 1.05
+
+    def test_wfe_cycles_lower_latency_similar(self):
+        poll = am_pingpong(
+            make_world(client_cfg=RuntimeConfig(wait_mode=WaitMode.POLL),
+                       server_cfg=RuntimeConfig(wait_mode=WaitMode.POLL)),
+            "jam_ss_sum", 256, warmup=6, iters=20)
+        wfe = am_pingpong(
+            make_world(client_cfg=RuntimeConfig(wait_mode=WaitMode.WFE),
+                       server_cfg=RuntimeConfig(wait_mode=WaitMode.WFE)),
+            "jam_ss_sum", 256, warmup=6, iters=20)
+        assert wfe.server_cycles < poll.server_cycles / 2
+        assert abs(wfe.stats.p50 - poll.stats.p50) / poll.stats.p50 < 0.05
+
+
+class TestAmInjectionRate:
+    def test_rate_positive_all_messages_processed(self):
+        world = make_world()
+        out = am_injection_rate(world, "jam_ss_sum", 64, messages=150)
+        assert out.rate_mps > 1e5
+        assert out.messages == 150
+
+    def test_more_slots_helps_throughput(self):
+        deep = am_injection_rate(make_world(), "jam_ss_sum", 64,
+                                 messages=200, banks=4, slots=8)
+        shallow = am_injection_rate(make_world(), "jam_ss_sum", 64,
+                                    messages=200, banks=1, slots=1)
+        assert deep.rate_mps > shallow.rate_mps * 1.5
+
+    def test_wire_bound_at_large_sizes(self):
+        out = am_injection_rate(make_world(), "jam_ss_sum", 32768,
+                                messages=120)
+        # 200 Gb/s wire = 25 GB/s; we should get within 30% of it and
+        # never exceed it.
+        assert 15.0 < out.wire_gbps <= 25.5
+
+    def test_execution_slows_rate(self):
+        run = am_injection_rate(make_world(), "jam_indirect_put", 2048,
+                                messages=150)
+        skip = am_injection_rate(make_world(), "jam_indirect_put", 2048,
+                                 messages=150, no_exec=True)
+        assert skip.rate_mps > run.rate_mps
+
+
+class TestUcxBaselines:
+    def test_put_pingpong_scales_with_size(self):
+        small = ucx_put_pingpong(make_world(), 64, warmup=6, iters=15)
+        big = ucx_put_pingpong(make_world(), 32768, warmup=6, iters=15)
+        assert big.stats.p50 > small.stats.p50 + 500.0
+
+    def test_put_stream_below_am(self):
+        am = am_injection_rate(make_world(), "jam_ss_sum", 1024,
+                               inject=False, no_exec=True, messages=200)
+        ucx = ucx_put_stream(make_world(), am.wire_size, messages=200)
+        assert am.wire_gbps > ucx.wire_gbps
+
+    def test_stash_helps_ucx_put_latency_too(self):
+        """Stashing is a platform feature, not a Two-Chains feature: the
+        raw put baseline also benefits from LLC delivery."""
+        st = ucx_put_pingpong(
+            make_world(hier_cfg=HierarchyConfig(stash_enabled=True)),
+            1024, warmup=6, iters=12)
+        ns = ucx_put_pingpong(
+            make_world(hier_cfg=HierarchyConfig(stash_enabled=False)),
+            1024, warmup=6, iters=12)
+        assert st.stats.p50 < ns.stats.p50

@@ -1,0 +1,87 @@
+"""Tests for benchmark statistics and calibration helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import TARGETS, pct_diff, summarize, within_band
+from repro.ucp import protocol_cost_ns
+
+
+class TestSummarize:
+    def test_basic_percentiles(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.n == 5
+        assert stats.p50 == 3.0
+        assert stats.minimum == 1.0 and stats.maximum == 5.0
+        assert stats.mean == 3.0
+
+    def test_p999_tracks_tail(self):
+        samples = [100.0] * 999 + [10_000.0]
+        stats = summarize(samples)
+        assert stats.p50 == 100.0
+        assert stats.p999 > 5000.0
+
+    def test_tail_spread_formula(self):
+        """Equation (1) of the paper."""
+        samples = [100.0] * 999 + [400.0]
+        stats = summarize(samples)
+        expected = 100.0 * (stats.p999 - stats.p50) / stats.p50
+        assert stats.tail_spread_pct == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(1.0, 1e6), min_size=2, max_size=500))
+    def test_property_ordering_invariants(self, samples):
+        stats = summarize(samples)
+        assert stats.minimum <= stats.p50 <= stats.p999 <= stats.maximum
+        # mean is within [min, max] up to float summation rounding
+        eps = 1e-9 * max(abs(stats.minimum), abs(stats.maximum), 1.0)
+        assert stats.minimum - eps <= stats.mean <= stats.maximum + eps
+
+
+class TestPctDiff:
+    def test_positive_when_larger(self):
+        assert pct_diff(110.0, 100.0) == pytest.approx(10.0)
+
+    def test_negative_when_smaller(self):
+        assert pct_diff(90.0, 100.0) == pytest.approx(-10.0)
+
+    def test_zero_baseline(self):
+        assert pct_diff(1.0, 0.0) == float("inf")
+
+
+class TestCalibration:
+    def test_within_band(self):
+        assert within_band(30.0, 31.0)
+        assert within_band(20.0, 31.0)
+        assert not within_band(5.0, 31.0)
+
+    def test_paper_targets_sane(self):
+        assert TARGETS.fig6_speedup_range[0] < TARGETS.fig6_speedup_range[1]
+        assert 0 < TARGETS.fig5_max_latency_overhead_pct < 10
+        assert TARGETS.fig13_cycle_reduction_range == (2.5, 3.8)
+
+    def test_protocol_thresholds_match_injected_frame_crossings(self):
+        """The paper's Fig 7 artifact points: the injected Indirect Put
+        frame (1408 B code) crosses a protocol boundary between the 1- and
+        8-integer payloads and again around 256 integers."""
+        from repro.core import frame_wire_size
+        from repro.ucp import select_protocol
+        one = select_protocol(frame_wire_size(1408, 4)).name
+        eight = select_protocol(frame_wire_size(1408, 32)).name
+        assert one != eight
+        p128 = select_protocol(frame_wire_size(1408, 512)).name
+        p256 = select_protocol(frame_wire_size(1408, 1024)).name
+        assert p128 != p256
+
+    def test_ladder_cost_crossover_is_bounded(self):
+        # The just-over-threshold penalty is slight (paper: "slight
+        # performance degradation"), not a cliff.
+        for a, b in ((1472, 1473), (2432, 2433)):
+            jump = protocol_cost_ns(b) - protocol_cost_ns(a)
+            assert 0 < jump < 120.0

@@ -1,0 +1,53 @@
+"""Tests for the single-message timeline tracer."""
+
+import pytest
+
+from repro.bench.timeline import trace_message
+from repro.cli import main as cli_main
+
+
+class TestTrace:
+    def test_phases_cover_the_whole_latency(self):
+        tl = trace_message("jam_ss_sum", 64)
+        assert [p.name for p in tl.phases] == [
+            "pack + post sw", "wire + DMA flight", "wake + signal read",
+            "parse + dispatch + exec"]
+        # contiguous, non-negative phases
+        for a, b in zip(tl.phases, tl.phases[1:]):
+            assert a.end_ns == b.start_ns
+            assert a.dur >= 0
+        assert tl.total_ns > 500.0
+
+    def test_wire_dominates_small_messages(self):
+        tl = trace_message("jam_ss_sum", 64)
+        wire = next(p for p in tl.phases if "wire" in p.name)
+        assert wire.dur > 0.4 * tl.total_ns
+
+    def test_nonstash_inflates_receiver_phases(self):
+        st = trace_message("jam_indirect_put", 64, stash=True)
+        ns = trace_message("jam_indirect_put", 64, stash=False)
+
+        def rx(tl):
+            return sum(p.dur for p in tl.phases
+                       if "wake" in p.name or "dispatch" in p.name)
+
+        assert rx(ns) > rx(st) * 1.5
+        # sender + wire phases barely move
+        assert abs(st.phases[0].dur - ns.phases[0].dur) < 30.0
+
+    def test_wfe_adds_wake_latency_only(self):
+        poll = trace_message("jam_ss_sum", 64, wfe=False)
+        wfe = trace_message("jam_ss_sum", 64, wfe=True)
+        wake_poll = next(p for p in poll.phases if "wake" in p.name)
+        wake_wfe = next(p for p in wfe.phases if "wake" in p.name)
+        assert wake_wfe.dur > wake_poll.dur
+        assert wfe.total_ns - poll.total_ns == pytest.approx(
+            wake_wfe.dur - wake_poll.dur, abs=1.0)
+
+    def test_render_has_bars(self):
+        text = trace_message("jam_ss_sum", 64).render()
+        assert "#" in text and "ns" in text
+
+    def test_cli_trace(self, capsys):
+        assert cli_main(["trace", "--jam", "jam_ss_sum", "--size", "64"]) == 0
+        assert "one-way timeline" in capsys.readouterr().out

@@ -1,0 +1,162 @@
+"""Tests for directory-based packaging (§IV) and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import connect_runtimes
+from repro.core.install import (
+    build_package_from_dir,
+    collect_sources,
+    install_package,
+    load_installed_package,
+)
+from repro.core.stdworld import make_world
+from repro.errors import PackageError
+from repro.machine import PROT_RW
+
+JAM = """
+extern long counter;
+long jam_tick(long* p, long n, long a, long b) {
+    counter = counter + a;
+    return counter;
+}
+"""
+RIED = """
+long counter = 0;
+long read_counter() { return counter; }
+"""
+
+
+@pytest.fixture
+def srcdir(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "jam_tick.amc").write_text(JAM)
+    (src / "ried_counter.rdc").write_text(RIED)
+    return src
+
+
+class TestCollectSources:
+    def test_canonical_names(self, srcdir):
+        jams, rieds = collect_sources(srcdir)
+        assert [j.name for j in jams] == ["jam_tick"]
+        assert [r.name for r in rieds] == ["ried_counter"]
+
+    def test_subdirectories_scanned(self, srcdir):
+        nested = srcdir / "extra"
+        nested.mkdir()
+        (nested / "jam_zz.amc").write_text(
+            "long jam_zz(long* p, long n, long a, long b) { return 1; }")
+        jams, _ = collect_sources(srcdir)
+        assert [j.name for j in jams] == ["jam_tick", "jam_zz"]
+
+    def test_noncanonical_jam_name_rejected(self, srcdir):
+        (srcdir / "myjam.amc").write_text("long f() { return 0; }")
+        with pytest.raises(PackageError, match="jam_<element>"):
+            collect_sources(srcdir)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(PackageError, match="does not exist"):
+            collect_sources(tmp_path / "nope")
+
+    def test_no_jams_rejected(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(PackageError, match="no jam"):
+            collect_sources(empty)
+
+
+class TestInstallRoundtrip:
+    def test_install_writes_expected_files(self, srcdir, tmp_path):
+        build = build_package_from_dir("tickpkg", srcdir)
+        out = install_package(build, tmp_path / "install")
+        names = {p.name for p in out.iterdir()}
+        assert names == {"libtc_tickpkg.so", "libtc_tickpkg_dispatch.so",
+                         "tickpkg.h", "jam_tick.jam", "jam_tick.lst",
+                         "package.json"}
+        manifest = json.loads((out / "package.json").read_text())
+        assert manifest["name"] == "tickpkg"
+        assert manifest["elements"][0]["name"] == "jam_tick"
+
+    def test_roundtrip_preserves_build(self, srcdir, tmp_path):
+        build = build_package_from_dir("tickpkg", srcdir)
+        out = install_package(build, tmp_path / "install")
+        loaded = load_installed_package(out)
+        assert loaded.package_id == build.package_id
+        assert loaded.library_elf == build.library_elf
+        assert loaded.dispatch_elf == build.dispatch_elf
+        art0, art1 = build.jams[0], loaded.jams[0]
+        assert art0.blob == art1.blob
+        assert art0.externs == art1.externs
+        assert art0.entry_off == art1.entry_off
+
+    def test_loaded_package_runs_end_to_end(self, srcdir, tmp_path):
+        build = build_package_from_dir("tickpkg", srcdir)
+        out = install_package(build, tmp_path / "install")
+        loaded = load_installed_package(out)
+        world = make_world(build=loaded)
+        mb = world.server.create_mailbox(1, 1, 1024)
+        conn = connect_runtimes(world.client, world.server, mb)
+        waiter = world.server.make_waiter(mb)
+        waiter.start()
+        payload = world.bed.node0.map_region(64, PROT_RW)
+        pkg = world.client.packages[loaded.package_id]
+
+        def send():
+            yield from conn.send_jam(pkg, "jam_tick", payload, 8,
+                                     args=(5,), inject=True)
+
+        world.engine.spawn(send())
+        world.engine.run()
+        waiter.stop()
+        assert waiter.stats.last_exec_ret == 5
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(PackageError, match="missing"):
+            load_installed_package(tmp_path)
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        (tmp_path / "package.json").write_text("{not json")
+        with pytest.raises(PackageError, match="corrupt"):
+            load_installed_package(tmp_path)
+
+    def test_missing_blob_rejected(self, srcdir, tmp_path):
+        build = build_package_from_dir("tickpkg", srcdir)
+        out = install_package(build, tmp_path / "install")
+        (out / "jam_tick.jam").unlink()
+        with pytest.raises(PackageError, match="missing jam blob"):
+            load_installed_package(out)
+
+
+class TestCli:
+    def test_build_inspect_disas(self, srcdir, tmp_path, capsys):
+        out = tmp_path / "inst"
+        assert cli_main(["build", str(srcdir), "-n", "clipkg",
+                         "-o", str(out)]) == 0
+        assert cli_main(["inspect", str(out)]) == 0
+        assert cli_main(["disas", str(out), "jam_tick"]) == 0
+        text = capsys.readouterr().out
+        assert "clipkg" in text
+        assert "got[0]" in text
+        assert "addi sp, sp," in text  # prologue in the disassembly
+
+    def test_perf_pingpong(self, capsys):
+        assert cli_main(["perf", "pingpong", "--size", "64",
+                         "--iters", "10", "--warmup", "4"]) == 0
+        assert "one-way latency" in capsys.readouterr().out
+
+    def test_perf_rate_local(self, capsys):
+        assert cli_main(["perf", "rate", "--size", "64", "--local",
+                         "--messages", "150"]) == 0
+        assert "message rate" in capsys.readouterr().out
+
+    def test_perf_stress_and_nonstash_flags(self, capsys):
+        assert cli_main(["perf", "pingpong", "--size", "64", "--nonstash",
+                         "--stress", "--iters", "8", "--warmup", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "+stress" in out and "tail spread" in out
+
+    def test_figures_unknown_name(self, capsys):
+        assert cli_main(["figures", "fig99"]) == 2

@@ -1,0 +1,108 @@
+"""Library replacement / relinking (§III): change message behaviour by
+loading an updated library — no process restart, no message change."""
+
+from repro.core import JamSource, RiedSource, build_package, connect_runtimes
+from repro.core.stdworld import make_world
+from repro.elf import build_shared_object
+from repro.isa import assemble
+from repro.machine import PROT_RW
+
+RIED = RiedSource("ried_o", "long last = 0;")
+JAM = JamSource("jam_apply2", """
+    extern long transform(long x);
+    extern long last;
+    long jam_apply2(long* p, long n, long a, long b) {
+        last = transform(p[0]);
+        return last;
+    }
+""")
+
+V1 = ".global transform\ntransform:\n add a0, a0, a0\n ret"        # double
+V2 = ".global transform\ntransform:\n muli a0, a0, 10\n ret"       # x10
+
+
+class TestRelink:
+    def _world(self):
+        build = build_package("relinkpkg", [JAM], [RIED])
+        world = make_world(build=None) if False else None
+        from repro.core import TwoChainsRuntime
+        from repro.rdma import Testbed
+        bed = Testbed.create()
+        client = TwoChainsRuntime(bed.engine, bed.node0, bed.hca0, bed.qp01)
+        server = TwoChainsRuntime(bed.engine, bed.node1, bed.hca1, bed.qp10)
+        for rt in (client, server):
+            rt.loader.load(build_shared_object(assemble(V1)), "libv1.so")
+        client.load_package(build)
+        server.load_package(build)
+        return bed, client, server, build
+
+    def _send_once(self, bed, conn, pkg, payload):
+        def send():
+            yield from conn.send_jam(pkg, "jam_apply2", payload, 8,
+                                     inject=True)
+        bed.engine.spawn(send())
+        bed.engine.run()
+
+    def test_redefine_plus_relink_changes_injected_behaviour(self):
+        bed, client, server, build = self._world()
+        mb = server.create_mailbox(1, 1, 1024)
+        conn = connect_runtimes(client, server, mb)
+        waiter = server.make_waiter(mb)
+        waiter.start()
+        payload = bed.node0.map_region(64, PROT_RW)
+        bed.node0.mem.write_i64(payload, 7)
+        pkg = client.packages[build.package_id]
+
+        self._send_once(bed, conn, pkg, payload)
+        assert waiter.stats.last_exec_ret == 14  # v1: double
+
+        # Hot update on the SERVER only: load v2, redefine, relink.
+        v2 = server.loader.load(build_shared_object(assemble(V2)),
+                                "libv2.so", export=False)
+        server.namespace.redefine("transform", v2.symbol("transform"),
+                                  origin="libv2.so")
+        server.relink_package(server.packages[build.package_id])
+
+        self._send_once(bed, conn, pkg, payload)
+        assert waiter.stats.last_exec_ret == 70  # v2: x10
+        waiter.stop()
+
+    def test_relink_also_updates_local_invocation(self):
+        bed, client, server, build = self._world()
+        mb = server.create_mailbox(1, 1, 1024)
+        conn = connect_runtimes(client, server, mb)
+        waiter = server.make_waiter(mb)
+        waiter.start()
+        payload = bed.node0.map_region(64, PROT_RW)
+        bed.node0.mem.write_i64(payload, 3)
+        pkg = client.packages[build.package_id]
+
+        def send_local():
+            yield from conn.send_jam(pkg, "jam_apply2", payload, 8,
+                                     inject=False)
+
+        bed.engine.spawn(send_local())
+        bed.engine.run()
+        assert waiter.stats.last_exec_ret == 6
+
+        v2 = server.loader.load(build_shared_object(assemble(V2)),
+                                "libv2.so", export=False)
+        server.namespace.redefine("transform", v2.symbol("transform"))
+        server.relink_package(server.packages[build.package_id])
+
+        bed.engine.spawn(send_local())
+        bed.engine.run()
+        assert waiter.stats.last_exec_ret == 30
+        waiter.stop()
+
+    def test_client_unaffected_by_server_update(self):
+        """Namespaces are per-process: the server's update does not leak
+        into the client's bindings."""
+        bed, client, server, build = self._world()
+        v2 = server.loader.load(build_shared_object(assemble(V2)),
+                                "libv2.so", export=False)
+        server.namespace.redefine("transform", v2.symbol("transform"))
+        server.relink_package(server.packages[build.package_id])
+        lib_c = client.packages[build.package_id].library
+        res = client.vm.call(client.namespace.resolve("transform"), (5,))
+        assert res.ret == 10  # still v1 (double) on the client

@@ -1,0 +1,351 @@
+"""End-to-end Two-Chains runtime tests on the two-node world."""
+
+import pytest
+
+from repro.core import RuntimeConfig, WaitMode, connect_runtimes
+from repro.core.stdjams import build_std_package
+from repro.core.stdworld import make_world
+from repro.elf import build_shared_object
+from repro.errors import PackageError, TwoChainsError
+from repro.isa import assemble
+from repro.machine import PROT_RW
+from repro.core.toolchain import JamSource, RiedSource, build_package
+
+
+def write_ints(node, addr, values):
+    for i, v in enumerate(values):
+        node.mem.write_u32(addr + 4 * i, v & 0xFFFFFFFF)
+
+
+def run_send(world, conn, waiter, jam, payload_vals, args=(), inject=True,
+             no_exec=False, count=1):
+    """Drive `count` sends of `jam` and run the sim to quiescence."""
+    node0 = world.bed.node0
+    payload = node0.map_region(max(len(payload_vals) * 4, 64), PROT_RW)
+    write_ints(node0, payload, payload_vals)
+    pkg = world.client.packages[world.build.package_id]
+
+    def sender():
+        for _ in range(count):
+            yield from conn.send_jam(pkg, jam, payload,
+                                     len(payload_vals) * 4, args=args,
+                                     inject=inject, no_exec=no_exec)
+
+    waiter.start()
+    world.engine.spawn(sender())
+    world.engine.run()
+    waiter.stop()
+
+
+def setup(world, jam, payload_ints, inject=True, banks=1, slots=1,
+          flow_control=False, on_frame=None):
+    fsize = world.frame_size_for(jam, payload_ints * 4, inject)
+    mb = world.server.create_mailbox(banks, slots, fsize)
+    conn = connect_runtimes(world.client, world.server, mb,
+                            flow_control=flow_control)
+    waiter = world.server.make_waiter(
+        mb, on_frame=on_frame,
+        flag_target=conn.flag_target() if flow_control else None)
+    return mb, conn, waiter
+
+
+class TestInjectedExecution:
+    def test_server_side_sum_executes_remotely(self):
+        world = make_world()
+        mb, conn, waiter = setup(world, "jam_ss_sum", 8)
+        run_send(world, conn, waiter, "jam_ss_sum", list(range(1, 9)))
+        assert waiter.stats.frames == 1
+        assert waiter.stats.injected_frames == 1
+        assert waiter.stats.last_exec_ret == 36
+        # The ried's results array on the server holds the sum.
+        lib = world.server.packages[world.build.package_id].library
+        assert world.bed.node1.mem.read_i64(lib.symbol("ss_results")) == 36
+        assert world.bed.node1.mem.read_i64(lib.symbol("ss_cursor")) == 1
+
+    def test_naive_sum_jam_matches_intrinsic_jam(self):
+        world = make_world()
+        vals = [7, -3, 100, 0, 5]
+        mb, conn, waiter = setup(world, "jam_ss_sum_naive", len(vals))
+        run_send(world, conn, waiter, "jam_ss_sum_naive", vals)
+        assert waiter.stats.last_exec_ret == sum(vals)
+
+    def test_indirect_put_stores_payload_at_hashed_offset(self):
+        world = make_world()
+        vals = list(range(16))
+        mb, conn, waiter = setup(world, "jam_indirect_put", len(vals))
+        run_send(world, conn, waiter, "jam_indirect_put", vals,
+                 args=(42,))  # key = 42
+        off = waiter.stats.last_exec_ret
+        assert off == 0  # first insert lands at heap offset 0
+        lib = world.server.packages[world.build.package_id].library
+        kv_data = lib.symbol("kv_data")
+        got = [world.bed.node1.mem.read_u32(kv_data + off + 4 * i)
+               for i in range(16)]
+        assert got == vals
+        # server-side lookup function agrees
+        from repro.isa import Vm
+        vm = world.server.vm
+        assert vm.call(lib.symbol("kv_find"), (42,)).ret == off
+        assert vm.call(lib.symbol("kv_find"), (999,)).ret == -1
+
+    def test_same_key_overwrites_same_offset(self):
+        world = make_world()
+        mb, conn, waiter = setup(world, "jam_indirect_put", 4,
+                                 flow_control=True)
+        run_send(world, conn, waiter, "jam_indirect_put", [1, 2, 3, 4],
+                 args=(7,), count=3)
+        assert waiter.stats.frames == 3
+        lib = world.server.packages[world.build.package_id].library
+        assert world.bed.node1.mem.read_i64(lib.symbol("kv_inserts")) == 1
+
+    def test_injected_code_actually_travels(self):
+        """The mailbox slot must contain the jam's code bytes on arrival."""
+        world = make_world()
+        mb, conn, waiter = setup(world, "jam_ss_sum", 1)
+        run_send(world, conn, waiter, "jam_ss_sum", [5])
+        art = world.build.jam("jam_ss_sum")
+        from repro.core.message import HDR_SIZE
+        code_in_slot = world.bed.node1.mem.read(
+            mb.slot_addr(0, 0) + HDR_SIZE + 8, len(art.blob))
+        assert code_in_slot == art.blob
+
+    def test_multiple_messages_reuse_slot_with_sequence(self):
+        world = make_world()
+        mb, conn, waiter = setup(world, "jam_ss_sum", 2, flow_control=True)
+        run_send(world, conn, waiter, "jam_ss_sum", [10, 20], count=5)
+        assert waiter.stats.frames == 5
+        lib = world.server.packages[world.build.package_id].library
+        assert world.bed.node1.mem.read_i64(lib.symbol("ss_cursor")) == 5
+
+
+class TestLocalExecution:
+    def test_local_invocation_same_result_no_code_on_wire(self):
+        world = make_world()
+        vals = [3, 4, 5]
+        mb, conn, waiter = setup(world, "jam_ss_sum", len(vals),
+                                 inject=False)
+        run_send(world, conn, waiter, "jam_ss_sum", vals, inject=False)
+        assert waiter.stats.frames == 1
+        assert waiter.stats.injected_frames == 0
+        assert waiter.stats.last_exec_ret == 12
+        assert mb.frame_size == 64  # no code section: tiny frame
+
+    def test_local_and_injected_agree(self):
+        results = []
+        for inject in (True, False):
+            world = make_world()
+            vals = list(range(10))
+            mb, conn, waiter = setup(world, "jam_indirect_put", len(vals),
+                                     inject=inject)
+            run_send(world, conn, waiter, "jam_indirect_put", vals,
+                     args=(5,), inject=inject)
+            results.append(waiter.stats.last_exec_ret)
+        assert results[0] == results[1]
+
+
+class TestWithoutExecution:
+    def test_no_exec_flag_skips_invocation(self):
+        world = make_world()
+        mb, conn, waiter = setup(world, "jam_ss_sum", 4)
+        run_send(world, conn, waiter, "jam_ss_sum", [1, 2, 3, 4],
+                 no_exec=True)
+        assert waiter.stats.frames == 1
+        assert waiter.stats.exec_ns_total == 0.0
+        lib = world.server.packages[world.build.package_id].library
+        assert world.bed.node1.mem.read_i64(lib.symbol("ss_cursor")) == 0
+
+    def test_receiver_config_without_execution(self):
+        world = make_world(server_cfg=RuntimeConfig(without_execution=True))
+        mb, conn, waiter = setup(world, "jam_ss_sum", 4)
+        run_send(world, conn, waiter, "jam_ss_sum", [1, 2, 3, 4])
+        assert waiter.stats.frames == 1
+        assert waiter.stats.exec_ns_total == 0.0
+
+
+class TestSecurityConfigs:
+    def test_receiver_inserted_gotp(self):
+        """§V mitigation: ignore the wire GOTP, patch from local table."""
+        world = make_world(server_cfg=RuntimeConfig(sender_sets_gotp=False))
+        # client also must not set it
+        world.client.cfg.sender_sets_gotp = False
+        mb, conn, waiter = setup(world, "jam_ss_sum", 2)
+        run_send(world, conn, waiter, "jam_ss_sum", [5, 6])
+        assert waiter.stats.last_exec_ret == 11
+
+    def test_split_code_pages_wx(self):
+        """§V mitigation: mailbox is never executable; code is staged to
+        RX pages before running."""
+        world = make_world(server_cfg=RuntimeConfig(split_code_pages=True))
+        mb, conn, waiter = setup(world, "jam_ss_sum", 2)
+        # mailbox pages must not be executable in this configuration
+        with pytest.raises(Exception):
+            world.bed.node1.pages.check_exec(mb.slot_addr(0, 0), 8)
+        run_send(world, conn, waiter, "jam_ss_sum", [5, 6])
+        assert waiter.stats.last_exec_ret == 11
+
+    def test_refuse_injected(self):
+        world = make_world(server_cfg=RuntimeConfig(refuse_injected=True))
+        mb, conn, waiter = setup(world, "jam_ss_sum", 2)
+        run_send(world, conn, waiter, "jam_ss_sum", [5, 6])
+        assert waiter.stats.rejected_frames == 1
+        assert waiter.stats.exec_ns_total == 0.0
+        # local invocations still work
+        mb2, conn2, waiter2 = setup(world, "jam_ss_sum", 2, inject=False)
+        run_send(world, conn2, waiter2, "jam_ss_sum", [5, 6], inject=False)
+        assert waiter2.stats.last_exec_ret == 11
+
+
+class TestWaitModes:
+    def _run(self, mode):
+        world = make_world(server_cfg=RuntimeConfig(wait_mode=mode))
+        mb, conn, waiter = setup(world, "jam_ss_sum", 4)
+        run_send(world, conn, waiter, "jam_ss_sum", [1, 2, 3, 4])
+        node1 = world.bed.node1
+        return (waiter.stats.last_exec_ret,
+                node1.board.count("core0.wait_cycles"))
+
+    def test_wfe_burns_far_fewer_wait_cycles_than_polling(self):
+        ret_poll, wait_poll = self._run(WaitMode.POLL)
+        ret_wfe, wait_wfe = self._run(WaitMode.WFE)
+        assert ret_poll == ret_wfe == 10
+        assert wait_poll > 5 * wait_wfe
+
+
+class TestFunctionOverloading:
+    def test_same_symbol_different_processes(self):
+        """§IV: different processes can bind the same symbolic name to
+        different functions — message behaviour is receiver-specific."""
+        build = build_std_package(include_tag=True)
+        world = make_world(build=None)  # placeholder; build manually below
+        # Build a fresh world manually so we can pre-define process_tag
+        # differently on each node before loading the package.
+        from repro.core.stdworld import make_world as mw
+        from repro.rdma import Testbed
+        from repro.core import TwoChainsRuntime
+        bed = Testbed.create()
+        rt0 = TwoChainsRuntime(bed.engine, bed.node0, bed.hca0, bed.qp01)
+        rt1 = TwoChainsRuntime(bed.engine, bed.node1, bed.hca1, bed.qp10)
+        tag_lib = ".global process_tag\nprocess_tag:\n movi a0, {}\n ret"
+        rt0.loader.load(build_shared_object(assemble(tag_lib.format(100))),
+                        "libtag.so")
+        rt1.loader.load(build_shared_object(assemble(tag_lib.format(200))),
+                        "libtag.so")
+        rt0.load_package(build)
+        rt1.load_package(build)
+        fsize = 1024
+        mb = rt1.create_mailbox(1, 1, fsize)
+        conn = connect_runtimes(rt0, rt1, mb)
+        waiter = rt1.make_waiter(mb)
+        waiter.start()
+        pkg0 = rt0.packages[build.package_id]
+        payload = bed.node0.map_region(64, PROT_RW)
+
+        def sender():
+            yield from conn.send_jam(pkg0, "jam_tag", payload, 4,
+                                     inject=True)
+
+        bed.engine.spawn(sender())
+        bed.engine.run()
+        waiter.stop()
+        # The jam ran on node1, so it called node1's process_tag.
+        assert waiter.stats.last_exec_ret == 200
+
+
+class TestErrorsAndLimits:
+    def test_send_unloaded_package_rejected(self):
+        world = make_world()
+        other = build_package("other", [JamSource("jam_x", """
+            long jam_x(char* p, long n, long a0, long a1) { return 1; }
+        """)])
+        world.client.load_package(other)
+        mb = world.server.create_mailbox(1, 1, 1024)
+        conn = connect_runtimes(world.client, world.server, mb)
+        pkg = world.client.packages[other.package_id]
+        payload = world.bed.node0.map_region(64, PROT_RW)
+
+        def sender():
+            yield from conn.send_jam(pkg, "jam_x", payload, 4)
+
+        with pytest.raises(TwoChainsError, match="not loaded"):
+            world.engine.run_process(sender())
+
+    def test_message_too_big_for_frame(self):
+        world = make_world()
+        mb, conn, waiter = setup(world, "jam_ss_sum", 1)
+        pkg = world.client.packages[world.build.package_id]
+        payload = world.bed.node0.map_region(8192, PROT_RW)
+
+        def sender():
+            yield from conn.send_jam(pkg, "jam_ss_sum", payload, 8192)
+
+        from repro.errors import MailboxError
+        with pytest.raises(MailboxError, match="needs"):
+            world.engine.run_process(sender())
+
+    def test_jam_with_bss_rejected_at_build(self):
+        with pytest.raises(PackageError, match="bss"):
+            build_package("bad", [JamSource("jam_bad", """
+                long scratch[64];
+                long jam_bad(char* p, long n, long a0, long a1) {
+                    scratch[0] = 1;
+                    return scratch[0];
+                }
+            """)])
+
+    def test_too_many_inline_args_rejected(self):
+        world = make_world()
+        mb, conn, waiter = setup(world, "jam_ss_sum", 1)
+        pkg = world.client.packages[world.build.package_id]
+        payload = world.bed.node0.map_region(64, PROT_RW)
+
+        def sender():
+            yield from conn.send_jam(pkg, "jam_ss_sum", payload, 4,
+                                     args=(1, 2, 3))
+
+        with pytest.raises(TwoChainsError, match="2 inline"):
+            world.engine.run_process(sender())
+
+
+class TestPingPongShape:
+    def test_round_trip_via_on_frame_hook(self):
+        """Minimal ping-pong: server's on_frame sends a pong back to the
+        client's mailbox; client waiter observes it."""
+        world = make_world()
+        fsize = world.frame_size_for("jam_ss_sum", 8, True)
+        server_mb = world.server.create_mailbox(1, 1, fsize)
+        client_mb = world.client.create_mailbox(1, 1, fsize)
+        c2s = connect_runtimes(world.client, world.server, server_mb)
+        s2c = connect_runtimes(world.server, world.client, client_mb)
+        pkg_c = world.client.packages[world.build.package_id]
+        pkg_s = world.server.packages[world.build.package_id]
+        pong_payload = world.bed.node1.map_region(64, PROT_RW)
+
+        def server_hook(view, slot_addr):
+            yield from s2c.send_jam(pkg_s, "jam_ss_sum", pong_payload, 8)
+
+        got = {}
+
+        def client_hook(view, slot_addr):
+            got["pong_at"] = world.engine.now
+            client_waiter.stop()
+            server_waiter.stop()
+            return None
+
+        server_waiter = world.server.make_waiter(server_mb,
+                                                 on_frame=server_hook)
+        client_waiter = world.client.make_waiter(client_mb,
+                                                 on_frame=client_hook)
+        server_waiter.start()
+        client_waiter.start()
+        payload = world.bed.node0.map_region(64, PROT_RW)
+        write_ints(world.bed.node0, payload, [1, 2])
+
+        def pinger():
+            yield from c2s.send_jam(pkg_c, "jam_ss_sum", payload, 8)
+
+        world.engine.spawn(pinger())
+        world.engine.run()
+        assert "pong_at" in got
+        assert got["pong_at"] > 2000.0  # a full round trip of real work
+        assert server_waiter.stats.frames == 1
+        assert client_waiter.stats.frames == 1

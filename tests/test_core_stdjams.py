@@ -1,0 +1,116 @@
+"""Tests for the standard package build (§VI-B jams) and the toolchain."""
+
+import pytest
+
+from repro.core import count_got_accesses
+from repro.core.stdjams import build_std_package
+from repro.core.toolchain import JamSource, build_package
+from repro.errors import PackageError
+from repro.isa import Op, decode_program
+
+
+@pytest.fixture(scope="module")
+def std():
+    return build_std_package()
+
+
+class TestStdPackage:
+    def test_paper_code_sizes(self, std):
+        """The Indirect Put jam ships 1408 B of code, like the paper."""
+        assert len(std.jam("jam_indirect_put").blob) == 1408
+        assert len(std.jam("jam_ss_sum").blob) == 448
+
+    def test_element_ids_are_stable(self, std):
+        assert std.jam("jam_ss_sum").element_id == 0
+        assert std.jam("jam_indirect_put").element_id == 1
+
+    def test_entries_at_offset_zero(self, std):
+        for art in std.jams:
+            assert art.entry_off == 0
+
+    def test_blobs_fully_rewritten(self, std):
+        for art in std.jams:
+            ldg, ldgi = count_got_accesses(art.blob[:art.text_size])
+            assert ldg == 0
+            assert ldgi == len(
+                [i for i in decode_program(art.blob[:art.text_size])
+                 if i.op is Op.LDGI])
+            assert ldgi >= 1  # every std jam uses at least one extern
+
+    def test_ldgi_points_before_code(self, std):
+        """Every rewritten GOT access must target the GOTP cell at
+        code_start - 8, regardless of where the instruction sits."""
+        for art in std.jams:
+            for off, instr in enumerate(
+                    decode_program(art.blob[:art.text_size])):
+                if instr.op is Op.LDGI:
+                    assert instr.imm == -8 - off * 8
+
+    def test_got_slots_match_externs(self, std):
+        iput = std.jam("jam_indirect_put")
+        assert iput.externs[0] == "tc_hash64"
+        assert "kv_data" in iput.externs
+        slots = {i.rs2 for i in decode_program(iput.blob[:iput.text_size])
+                 if i.op is Op.LDGI}
+        assert slots <= set(range(len(iput.externs)))
+
+    def test_library_elf_parses_and_exports(self, std):
+        from repro.elf import read_elf
+        img = read_elf(std.library_elf)
+        names = {s.name for s in img.defined_symbols()}
+        for expected in ("jam_ss_sum", "jam_indirect_put", "kv_find",
+                         "ss_store", "kv_keys", "ss_results"):
+            assert expected in names
+
+    def test_header_lists_every_element(self, std):
+        for art in std.jams:
+            assert art.name.upper() in std.header
+
+    def test_padding_is_nops(self, std):
+        sum_blob = std.jam("jam_ss_sum").blob
+        # padded region decodes as NOPs
+        tail = decode_program(sum_blob[-64:])
+        assert all(i.op is Op.NOP for i in tail)
+
+
+class TestToolchainValidation:
+    def test_pad_smaller_than_code_rejected(self):
+        with pytest.raises(PackageError, match="exceeds"):
+            build_package("x", [JamSource("jam_big", """
+                long jam_big(long* p, long n, long a, long b) {
+                    return p[0] + p[1] + p[2] + p[3] + p[4];
+                }
+            """, pad_code_to=8)])
+
+    def test_unaligned_pad_rejected(self):
+        with pytest.raises(PackageError, match="aligned"):
+            build_package("x", [JamSource("jam_x", """
+                long jam_x(long* p, long n, long a, long b) { return 0; }
+            """, pad_code_to=1001)])
+
+    def test_missing_entry_function_rejected(self):
+        with pytest.raises(PackageError, match="must define"):
+            build_package("x", [JamSource("jam_missing", """
+                long other(long* p, long n, long a, long b) { return 0; }
+            """)])
+
+    def test_duplicate_jam_names_rejected(self):
+        src = "long jam_d(long* p, long n, long a, long b) { return 0; }"
+        with pytest.raises(PackageError, match="duplicate"):
+            build_package("x", [JamSource("jam_d", src),
+                                JamSource("jam_d", src)])
+
+    def test_empty_package_rejected(self):
+        with pytest.raises(PackageError, match="at least one"):
+            build_package("x", [])
+
+    def test_jam_rodata_travels_with_code(self):
+        build = build_package("strings", [JamSource("jam_hello", """
+            extern long tc_puts(char* s);
+            long jam_hello(long* p, long n, long a, long b) {
+                return tc_puts("in-message rodata");
+            }
+        """)])
+        art = build.jam("jam_hello")
+        assert art.rodata_size >= len("in-message rodata") + 1
+        assert b"in-message rodata" in art.blob

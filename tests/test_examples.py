@@ -1,0 +1,46 @@
+"""The examples are executable documentation: run each end to end.
+
+Each example asserts its own correctness internally and finishes with
+'OK'; these tests just drive them (with stdout captured by pytest)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"),
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_quickstart():
+    run_example("quickstart.py")
+
+
+def test_indirect_put_kvstore():
+    run_example("indirect_put_kvstore.py")
+
+
+def test_graph_analytics():
+    pytest.importorskip("networkx")
+    run_example("graph_analytics.py")
+
+
+def test_function_overloading():
+    run_example("function_overloading.py")
+
+
+def test_security_modes():
+    run_example("security_modes.py")

@@ -1,0 +1,140 @@
+"""End-to-end scenario tests combining multiple subsystems."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AdaptiveJamSender,
+    JamSource,
+    RiedSource,
+    RuntimeConfig,
+    WaitMode,
+    build_package,
+    connect_runtimes,
+)
+from repro.core.stdworld import make_world
+from repro.machine import PROT_RW, HierarchyConfig
+
+
+class TestKitchenSink:
+    def test_two_packages_wfe_receiver_gotp_and_stress(self):
+        """Multiple packages + WFE waiter + receiver-set GOTP + stress:
+        everything composes and results stay exact."""
+        extra = build_package("extra", [JamSource("jam_xor", """
+            long jam_xor(long* p, long n, long key, long b) {
+                long acc = 0;
+                for (long i = 0; i < n / 8; i = i + 1) {
+                    acc = acc ^ (p[i] + key);
+                }
+                return acc;
+            }
+        """)])
+        cfg = RuntimeConfig(wait_mode=WaitMode.WFE, sender_sets_gotp=False)
+        world = make_world(server_cfg=cfg)
+        world.client.cfg.sender_sets_gotp = False
+        world.client.load_package(extra)
+        world.server.load_package(extra)
+        from repro.workloads import StressConfig, StressWorkload
+        stress = StressWorkload(world.engine, world.bed.node1,
+                                world.bed.rngs, StressConfig())
+        stress.start()
+
+        mb = world.server.create_mailbox(2, 4, 1536)
+        conn = connect_runtimes(world.client, world.server, mb,
+                                flow_control=True)
+        waiter = world.server.make_waiter(mb,
+                                          flag_target=conn.flag_target())
+        waiter.start()
+        payload = world.bed.node0.map_region(64, PROT_RW)
+        vals = [3, 9, 27, 81]
+        for i, v in enumerate(vals):
+            world.bed.node0.mem.write_i64(payload + 8 * i, v)
+        std_pkg = world.client.packages[world.build.package_id]
+        extra_pkg = world.client.packages[extra.package_id]
+
+        def driver():
+            # interleave elements from two different packages
+            for k in range(3):
+                yield from conn.send_jam(extra_pkg, "jam_xor", payload, 32,
+                                         args=(k,), inject=True)
+                yield from conn.send_jam(std_pkg, "jam_ss_sum_naive",
+                                         payload, 16, inject=True)
+            stress.stop()
+            waiter.stop()
+
+        # run the driver, then drain
+        proc = world.engine.spawn(driver())
+        world.engine.run()
+        assert waiter.stats.frames >= 5  # the stop may race the last frame
+        expected_xor = 0
+        for v in vals:
+            expected_xor ^= v + 2
+        # last jam_xor ran with key=2
+        lib = world.server.packages[world.build.package_id].library
+        # naive sum of first 2 longs interpreted as 4 ints
+        assert world.bed.node1.mem.read_i64(lib.symbol("ss_cursor")) >= 2
+
+    def test_adaptive_plus_nonstash_plus_security(self):
+        world = make_world(
+            hier_cfg=HierarchyConfig(stash_enabled=False),
+            server_cfg=RuntimeConfig(split_code_pages=True))
+        fsize = world.frame_size_for("jam_ss_sum", 32, True)
+        mb = world.server.create_mailbox(1, 4, fsize)
+        conn = connect_runtimes(world.client, world.server, mb,
+                                flow_control=True)
+        waiter = world.server.make_waiter(mb,
+                                          flag_target=conn.flag_target())
+        waiter.start()
+        payload = world.bed.node0.map_region(64, PROT_RW)
+        for i in range(8):
+            world.bed.node0.mem.write_u32(payload + 4 * i, 2 * i)
+        pkg = world.client.packages[world.build.package_id]
+        sender = AdaptiveJamSender(conn, pkg, "jam_ss_sum", payload, 32,
+                                   threshold=2)
+
+        def driver():
+            for _ in range(6):
+                yield from sender.send()
+
+        world.engine.spawn(driver())
+        world.engine.run()
+        waiter.stop()
+        assert waiter.stats.frames == 6
+        assert sender.stats.local_sends == 4
+        assert waiter.stats.last_exec_ret == sum(2 * i for i in range(8))
+
+
+class TestPropertyEndToEnd:
+    @settings(max_examples=10, deadline=None)
+    @given(vals=st.lists(st.integers(-2**30, 2**30), min_size=1,
+                         max_size=32))
+    def test_property_injected_sum_matches_python(self, vals):
+        """Whatever integers we put on the wire, the injected sum jam
+        computes exactly what Python does."""
+        world = make_world()
+        nb = len(vals) * 4
+        fsize = world.frame_size_for("jam_ss_sum_naive", nb, True)
+        mb = world.server.create_mailbox(1, 1, fsize)
+        conn = connect_runtimes(world.client, world.server, mb)
+        waiter = world.server.make_waiter(mb)
+        waiter.start()
+        payload = world.bed.node0.map_region(max(nb, 64), PROT_RW)
+        for i, v in enumerate(vals):
+            world.bed.node0.mem.write_u32(payload + 4 * i,
+                                          v & 0xFFFFFFFF)
+        pkg = world.client.packages[world.build.package_id]
+
+        def send():
+            yield from conn.send_jam(pkg, "jam_ss_sum_naive", payload, nb,
+                                     inject=True)
+
+        world.engine.spawn(send())
+        world.engine.run()
+        waiter.stop()
+
+        def as_i32(x):
+            x &= 0xFFFFFFFF
+            return x - (1 << 32) if x >= (1 << 31) else x
+
+        assert waiter.stats.last_exec_ret == sum(as_i32(v) for v in vals)

@@ -1,0 +1,211 @@
+"""Assembler tests: syntax, labels, relocations, data directives, errors."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import Op, RelocKind, assemble, decode_program
+
+
+class TestBasic:
+    def test_simple_function(self):
+        om = assemble("""
+            .global f
+            f:
+                movi a0, 42
+                ret
+        """)
+        prog = decode_program(om.text)
+        assert [i.op for i in prog] == [Op.MOVI, Op.RET]
+        assert om.symbols["f"].is_global and om.symbols["f"].is_func
+        assert om.symbols["f"].offset == 0
+
+    def test_comments_stripped(self):
+        om = assemble("movi a0, 1 ; trailing\n# whole line\nret")
+        assert len(om.text) == 16
+
+    def test_all_register_aliases(self):
+        om = assemble("add a0, t0, s0\nadd x1, at, zr\nmov lr, sp")
+        prog = decode_program(om.text)
+        assert (prog[0].rd, prog[0].rs1, prog[0].rs2) == (0, 8, 20)
+        assert (prog[1].rd, prog[1].rs1, prog[1].rs2) == (1, 28, 29)
+        assert (prog[2].rd, prog[2].rs1) == (30, 31)
+
+    def test_memory_operands(self):
+        om = assemble("ld a0, -8(sp)\nst a1, 16(t0)")
+        prog = decode_program(om.text)
+        assert prog[0].op is Op.LD and prog[0].imm == -8 and prog[0].rs1 == 31
+        assert prog[1].op is Op.ST and prog[1].imm == 16 and prog[1].rs1 == 8
+
+    def test_hex_and_char_literals(self):
+        om = assemble("movi a0, 0x10\nmovi a1, 'A'")
+        prog = decode_program(om.text)
+        assert prog[0].imm == 16
+        assert prog[1].imm == 65
+
+
+class TestBranches:
+    def test_backward_and_forward_targets(self):
+        om = assemble("""
+            top:
+                addi a0, a0, 1
+                beq a0, a1, out
+                b top
+            out:
+                ret
+        """)
+        prog = decode_program(om.text)
+        assert prog[1].op is Op.BEQ and prog[1].imm == 16  # to out
+        assert prog[2].op is Op.B and prog[2].imm == -16   # to top
+
+    def test_call_local(self):
+        om = assemble("""
+            main:
+                call helper
+                ret
+            helper:
+                ret
+        """)
+        prog = decode_program(om.text)
+        assert prog[0].op is Op.CALL and prog[0].imm == 16
+
+    def test_undefined_label_raises(self):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            assemble("b nowhere")
+
+    def test_call_extern_rejected(self):
+        with pytest.raises(AssemblerError, match="externs need ldg"):
+            assemble(".extern foo\ncall foo")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble("x:\nnop\nx:\nnop")
+
+
+class TestLiPseudo:
+    def test_small_constant_single_instr(self):
+        om = assemble("li a0, 100")
+        assert len(om.text) == 8
+
+    def test_negative_small_single_instr(self):
+        om = assemble("li a0, -1")
+        prog = decode_program(om.text)
+        assert len(prog) == 1 and prog[0].imm == -1
+
+    def test_large_constant_two_instrs(self):
+        om = assemble("li a0, 0x123456789A")
+        prog = decode_program(om.text)
+        assert [i.op for i in prog] == [Op.MOVI, Op.MOVHI]
+
+    def test_li_expansion_keeps_labels_right(self):
+        om = assemble("""
+                li a0, 0x1122334455667788
+                b done
+            done:
+                ret
+        """)
+        prog = decode_program(om.text)
+        assert prog[2].op is Op.B and prog[2].imm == 8
+
+
+class TestGot:
+    def test_ldg_assigns_slots_in_declaration_order(self):
+        om = assemble("""
+            .extern alpha
+            .extern beta
+            ldg t0, beta
+            ldg t1, alpha
+        """)
+        prog = decode_program(om.text)
+        assert prog[0].rs2 == 1  # beta
+        assert prog[1].rs2 == 0  # alpha
+        assert om.externs == ["alpha", "beta"]
+        assert om.got_size == 16
+        assert all(r.kind is RelocKind.GOTPC32 for r in om.relocs)
+
+    def test_undeclared_extern_rejected(self):
+        with pytest.raises(AssemblerError, match="not declared"):
+            assemble("ldg t0, mystery")
+
+    def test_got_slot_lookup(self):
+        om = assemble(".extern a\n.extern b\nnop")
+        assert om.got_slot("b") == 1
+        with pytest.raises(AssemblerError):
+            om.got_slot("zzz")
+
+
+class TestData:
+    def test_quad_word_byte_zero_asciz(self):
+        om = assemble("""
+            .data
+            q: .quad 1, -1
+            w: .word 0x10
+            b: .byte 1, 2, 3
+            z: .zero 5
+            s: .asciz "hi\\n"
+        """)
+        assert om.data[0:8] == (1).to_bytes(8, "little")
+        assert om.data[8:16] == b"\xff" * 8
+        assert om.data[16:20] == (16).to_bytes(4, "little")
+        assert om.data[20:23] == b"\x01\x02\x03"
+        assert om.data[23:28] == b"\x00" * 5
+        assert om.data[28:32] == b"hi\n\x00"
+        assert om.symbols["s"].section == "data"
+        assert om.symbols["s"].offset == 28
+
+    def test_align_directive(self):
+        om = assemble(".data\n.byte 1\n.align 8\nq: .quad 2")
+        assert om.symbols["q"].offset == 8
+
+    def test_quad_symbol_emits_abs64_reloc(self):
+        om = assemble("""
+            f: ret
+            .data
+            table: .quad f
+        """)
+        relocs = [r for r in om.relocs if r.kind is RelocKind.ABS64]
+        assert len(relocs) == 1
+        assert relocs[0].symbol == "f" and relocs[0].section == "data"
+
+    def test_bss(self):
+        om = assemble(".bss\nbuf: .zero 128\n.align 64\nbuf2: .zero 8")
+        assert om.symbols["buf"].offset == 0
+        assert om.symbols["buf2"].offset == 128
+        assert om.bss_size == 136
+
+    def test_adr_local_data_emits_pcrel(self):
+        om = assemble("""
+            f: adr a0, msg
+               ret
+            .data
+            msg: .asciz "x"
+        """)
+        relocs = [r for r in om.relocs if r.kind is RelocKind.PCREL32]
+        assert len(relocs) == 1 and relocs[0].symbol == "msg"
+
+    def test_adr_text_label_resolved_immediately(self):
+        om = assemble("f: adr a0, f\nret")
+        assert not om.relocs
+        assert decode_program(om.text)[0].imm == 0
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate a0")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError, match="expected register"):
+            assemble("add a0, a1, 5")
+
+    def test_instruction_in_data_section(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\nmovi a0, 1")
+
+    def test_imm_out_of_range(self):
+        with pytest.raises(AssemblerError, match="out of range"):
+            assemble("addi a0, a0, 0x100000000")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as info:
+            assemble("nop\nnop\nbogus")
+        assert info.value.line == 3

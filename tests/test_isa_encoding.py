@@ -1,0 +1,92 @@
+"""Encoding/decoding and disassembler tests, incl. hypothesis roundtrips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IsaError
+from repro.isa import (
+    INSTR_BYTES,
+    Instr,
+    Op,
+    decode,
+    decode_program,
+    disassemble,
+    encode_program,
+    format_instr,
+)
+
+ops = st.sampled_from(list(Op))
+regs = st.integers(0, 31)
+imms = st.integers(-(1 << 31), (1 << 31) - 1)
+
+
+class TestEncoding:
+    def test_instr_is_8_bytes(self):
+        assert len(Instr(Op.NOP).encode()) == INSTR_BYTES
+
+    def test_simple_roundtrip(self):
+        i = Instr(Op.ADDI, rd=1, rs1=2, imm=-42)
+        assert decode(i.encode()) == i
+
+    @given(op=ops, rd=regs, rs1=regs, rs2=regs, imm=imms)
+    @settings(max_examples=200, deadline=None)
+    def test_property_roundtrip(self, op, rd, rs1, rs2, imm):
+        i = Instr(op, rd, rs1, rs2, imm)
+        assert decode(i.encode()) == i
+
+    def test_imm_out_of_range_rejected(self):
+        with pytest.raises(IsaError):
+            Instr(Op.MOVI, rd=0, imm=1 << 32).encode()
+
+    def test_illegal_opcode_rejected(self):
+        with pytest.raises(IsaError):
+            decode(b"\xff" + b"\x00" * 7)
+
+    def test_program_roundtrip(self):
+        prog = [Instr(Op.MOVI, rd=0, imm=5), Instr(Op.RET)]
+        blob = encode_program(prog)
+        assert decode_program(blob) == prog
+
+    def test_ragged_program_rejected(self):
+        with pytest.raises(IsaError):
+            decode_program(b"\x00" * 12)
+
+
+class TestDisassembler:
+    def test_formats_cover_common_shapes(self):
+        cases = {
+            Instr(Op.NOP): "nop",
+            Instr(Op.RET): "ret",
+            Instr(Op.MOVI, rd=0, imm=7): "movi a0, 7",
+            Instr(Op.ADD, rd=0, rs1=1, rs2=2): "add a0, a1, a2",
+            Instr(Op.ADDI, rd=31, rs1=31, imm=-16): "addi sp, sp, -16",
+            Instr(Op.LD, rd=30, rs1=31, imm=0): "ld lr, 0(sp)",
+            Instr(Op.ST, rd=30, rs1=31, imm=8): "st lr, 8(sp)",
+            Instr(Op.CALLR, rs1=8): "callr t0",
+            Instr(Op.MOV, rd=0, rs1=29): "mov a0, zr",
+        }
+        for instr, expected in cases.items():
+            assert format_instr(instr) == expected
+
+    def test_branch_target_annotated_with_addr(self):
+        text = format_instr(Instr(Op.B, imm=-16), addr=0x100)
+        assert "0xf0" in text
+
+    def test_got_forms_distinguishable(self):
+        ldg = format_instr(Instr(Op.LDG, rd=8, rs2=3, imm=100))
+        ldgi = format_instr(Instr(Op.LDGI, rd=8, rs2=3, imm=-8))
+        assert "ldg" in ldg and "got[3]" in ldg
+        assert "ldgi" in ldgi and "via" in ldgi
+
+    def test_disassemble_listing(self):
+        blob = encode_program([Instr(Op.MOVI, rd=0, imm=1), Instr(Op.RET)])
+        lines = disassemble(blob, base=0x1000)
+        assert len(lines) == 2
+        assert lines[0].startswith("0x00001000:")
+        assert "ret" in lines[1]
+
+    @given(op=ops, rd=regs, rs1=regs, rs2=regs, imm=imms)
+    @settings(max_examples=100, deadline=None)
+    def test_property_format_never_crashes(self, op, rd, rs1, rs2, imm):
+        assert isinstance(format_instr(Instr(op, rd, rs1, rs2, imm), 0x40), str)

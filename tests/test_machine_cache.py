@@ -1,0 +1,150 @@
+"""Unit + property tests for the set-associative cache and DRAM ledger."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineError
+from repro.machine import Dram, SetAssocCache, lines_touched
+
+
+class TestSetAssocCache:
+    def make(self, size=4096, ways=2):
+        return SetAssocCache("t", size, ways)
+
+    def test_miss_then_install_then_hit(self):
+        c = self.make()
+        assert not c.access(0x100)
+        assert c.install(0x100) is None
+        assert c.access(0x100)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_lru_eviction_order(self):
+        # 2-way: fill both ways of set 0, touch the first, install a third;
+        # the second (true LRU) must be evicted.
+        c = self.make(size=4096, ways=2)  # 32 sets
+        s = c.sets
+        a, b, d = 0, s, 2 * s  # three lines mapping to set 0
+        c.install(a)
+        c.install(b)
+        assert c.access(a)  # refresh a
+        ev = c.install(d)
+        assert ev == (b, False)
+        assert c.probe(a) and c.probe(d) and not c.probe(b)
+
+    def test_dirty_eviction_reported(self):
+        c = self.make(size=4096, ways=2)
+        s = c.sets
+        c.install(0, dirty=True)
+        c.install(s)
+        ev = c.install(2 * s)
+        assert ev == (0, True)
+
+    def test_write_access_sets_dirty(self):
+        c = self.make(size=4096, ways=1)
+        c.install(5)
+        c.access(5, write=True)
+        assert c.invalidate(5) is True
+
+    def test_install_existing_refreshes_not_evicts(self):
+        c = self.make(size=4096, ways=2)
+        c.install(0)
+        assert c.install(0) is None
+        assert c.occupancy == 1
+
+    def test_invalidate_absent_is_noop(self):
+        c = self.make()
+        assert c.invalidate(0x999) is False
+
+    def test_flush_all_reports_dirty(self):
+        c = self.make()
+        c.install(1, dirty=True)
+        c.install(2, dirty=False)
+        assert c.flush_all() == 1
+        assert c.occupancy == 0
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(MachineError):
+            SetAssocCache("bad", 1000, 3)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        lines=st.lists(st.integers(min_value=0, max_value=2**20), min_size=1,
+                       max_size=300),
+    )
+    def test_property_occupancy_bounded_and_present_lines_hit(self, lines):
+        """Occupancy never exceeds capacity, and any line just installed
+        (and not since evicted) must hit."""
+        c = SetAssocCache("p", 8192, 4)
+        live = set()
+        for ln in lines:
+            ev = c.install(ln)
+            live.add(ln)
+            if ev is not None:
+                live.discard(ev[0])
+            assert c.occupancy <= c.sets * c.ways
+        for ln in live:
+            assert c.probe(ln), f"line {ln} should be resident"
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 2**18), min_size=1, max_size=200))
+    def test_property_probe_has_no_side_effects(self, lines):
+        c = SetAssocCache("p", 4096, 2)
+        for ln in lines:
+            c.install(ln)
+        before = (c.hits, c.misses, c.occupancy)
+        for ln in lines:
+            c.probe(ln)
+        assert (c.hits, c.misses, c.occupancy) == before
+
+
+class TestLinesTouched:
+    def test_within_one_line(self):
+        assert list(lines_touched(0, 64)) == [0]
+        assert list(lines_touched(10, 8)) == [0]
+
+    def test_spanning(self):
+        assert list(lines_touched(60, 8)) == [0, 1]
+        assert list(lines_touched(64, 128)) == [1, 2]
+
+    def test_zero_size(self):
+        assert list(lines_touched(100, 0)) == []
+
+    @given(st.integers(0, 2**20), st.integers(1, 4096))
+    @settings(max_examples=100, deadline=None)
+    def test_property_covers_every_byte(self, addr, size):
+        lines = set(lines_touched(addr, size))
+        for byte in (addr, addr + size - 1, addr + size // 2):
+            assert byte >> 6 in lines
+
+
+class TestDram:
+    def test_idle_access_pays_base_latency_only(self):
+        d = Dram(base_latency_ns=90.0, bandwidth_gbps=20.0)
+        assert d.access(now=1000.0) == 90.0
+
+    def test_back_to_back_accesses_queue(self):
+        d = Dram(base_latency_ns=90.0, bandwidth_gbps=20.0)
+        d.access(now=0.0, lines=10)  # occupies 10*3.2ns = 32ns
+        lat = d.access(now=0.0)
+        assert lat == pytest.approx(90.0 + 32.0)
+
+    def test_queue_drains_with_time(self):
+        d = Dram(base_latency_ns=90.0, bandwidth_gbps=20.0)
+        d.access(now=0.0, lines=10)
+        assert d.queue_delay(100.0) == 0.0
+
+    def test_inject_busy_delays_later_access(self):
+        d = Dram(base_latency_ns=90.0, bandwidth_gbps=20.0)
+        d.inject_busy(0.0, 500.0)
+        assert d.access(0.0) == pytest.approx(590.0)
+
+    def test_queue_cap(self):
+        d = Dram(base_latency_ns=90.0, bandwidth_gbps=20.0, queue_cap_ns=100.0)
+        d.inject_busy(0.0, 10_000.0)
+        assert d.queue_delay(0.0) == 100.0
+
+    def test_charge_bandwidth_tracks_lines(self):
+        d = Dram()
+        d.charge_bandwidth(0.0, 7)
+        assert d.lines_moved == 7

@@ -1,0 +1,130 @@
+"""Unit tests for physical memory, allocator, and page permissions."""
+
+import pytest
+
+from repro.errors import MachineError, MemoryFault
+from repro.machine import (
+    PAGE_SIZE,
+    PROT_NONE,
+    PROT_RW,
+    PROT_RWX,
+    PROT_RX,
+    BumpAllocator,
+    PageTable,
+    PhysicalMemory,
+    align_up,
+    prot_str,
+)
+
+
+class TestPhysicalMemory:
+    def test_roundtrip_bytes(self):
+        mem = PhysicalMemory(1 << 20)
+        mem.write(100, b"hello world")
+        assert mem.read(100, 11) == b"hello world"
+
+    def test_scalar_roundtrips_little_endian(self):
+        mem = PhysicalMemory(1 << 20)
+        mem.write_u64(64, 0x1122334455667788)
+        assert mem.read_u64(64) == 0x1122334455667788
+        assert mem.read(64, 8) == bytes.fromhex("8877665544332211")
+        mem.write_u32(80, 0xDEADBEEF)
+        assert mem.read_u32(80) == 0xDEADBEEF
+        mem.write_u8(90, 0x7F)
+        assert mem.read_u8(90) == 0x7F
+
+    def test_signed_64(self):
+        mem = PhysicalMemory(1 << 20)
+        mem.write_i64(0, -5)
+        assert mem.read_i64(0) == -5
+        assert mem.read_u64(0) == (1 << 64) - 5
+
+    def test_out_of_range_faults(self):
+        mem = PhysicalMemory(1 << 20)
+        with pytest.raises(MemoryFault):
+            mem.read((1 << 20) - 4, 8)
+        with pytest.raises(MemoryFault):
+            mem.write_u64(-8, 1)
+
+    def test_fill(self):
+        mem = PhysicalMemory(1 << 20)
+        mem.fill(10, 5, 0xAB)
+        assert mem.read(10, 5) == b"\xab" * 5
+
+    def test_view_i64_requires_alignment(self):
+        mem = PhysicalMemory(1 << 20)
+        mem.write_i64(8, 42)
+        assert mem.view_i64(8, 1)[0] == 42
+        with pytest.raises(MemoryFault):
+            mem.view_i64(4, 1)
+
+    def test_size_must_be_line_multiple(self):
+        with pytest.raises(MachineError):
+            PhysicalMemory(100)
+
+
+class TestBumpAllocator:
+    def test_alignment_honored(self):
+        alloc = BumpAllocator(64, 1 << 16)
+        a = alloc.alloc(10, align=64)
+        b = alloc.alloc(10, align=256)
+        assert a % 64 == 0
+        assert b % 256 == 0
+        assert b >= a + 10
+
+    def test_exhaustion(self):
+        alloc = BumpAllocator(64, 256)
+        alloc.alloc(128)
+        with pytest.raises(MachineError):
+            alloc.alloc(256)
+
+    def test_reset(self):
+        alloc = BumpAllocator(64, 1 << 16)
+        alloc.alloc(100)
+        used = alloc.used
+        alloc.reset()
+        assert used > 0 and alloc.used == 0
+
+    def test_align_up(self):
+        assert align_up(65, 64) == 128
+        assert align_up(64, 64) == 64
+        with pytest.raises(MachineError):
+            align_up(1, 3)
+
+
+class TestPageTable:
+    def test_default_no_access(self):
+        pt = PageTable(16 * PAGE_SIZE)
+        with pytest.raises(MemoryFault):
+            pt.check_read(0)
+
+    def test_rwx_split(self):
+        pt = PageTable(16 * PAGE_SIZE)
+        pt.set_prot(0, PAGE_SIZE, PROT_RX)
+        pt.set_prot(PAGE_SIZE, PAGE_SIZE, PROT_RW)
+        pt.check_read(10)
+        pt.check_exec(10)
+        with pytest.raises(MemoryFault):
+            pt.check_write(10)
+        pt.check_write(PAGE_SIZE + 10)
+        with pytest.raises(MemoryFault):
+            pt.check_exec(PAGE_SIZE + 10)
+
+    def test_range_spanning_pages_requires_all(self):
+        pt = PageTable(16 * PAGE_SIZE)
+        pt.set_prot(0, PAGE_SIZE, PROT_RW)
+        # second page stays PROT_NONE
+        with pytest.raises(MemoryFault):
+            pt.check_read(PAGE_SIZE - 8, 16)
+
+    def test_rwx_pages_allow_everything(self):
+        pt = PageTable(16 * PAGE_SIZE)
+        pt.set_prot(0, 2 * PAGE_SIZE, PROT_RWX)
+        pt.check_read(0, 2 * PAGE_SIZE)
+        pt.check_write(100, 64)
+        pt.check_exec(PAGE_SIZE, 8)
+
+    def test_prot_str(self):
+        assert prot_str(PROT_RWX) == "RWX"
+        assert prot_str(PROT_RX) == "RX"
+        assert prot_str(PROT_NONE) == "-"

@@ -1,0 +1,149 @@
+"""Tests for the Node (monitors, preemption, counters) and stress model."""
+
+import pytest
+
+from repro.errors import MemoryFault
+from repro.machine import PROT_RW, PROT_RX, Node, StressConfig, StressWorkload
+from repro.sim import Delay, Engine, RngPool
+
+
+def make_node():
+    eng = Engine()
+    return eng, Node(eng, node_id=0)
+
+
+class TestNodeMapping:
+    def test_map_region_sets_protections(self):
+        _, node = make_node()
+        code = node.map_region(4096, PROT_RX, align=4096, label="code")
+        data = node.map_region(4096, PROT_RW, align=4096, label="data")
+        node.pages.check_exec(code, 8)
+        node.pages.check_write(data, 8)
+        with pytest.raises(MemoryFault):
+            node.pages.check_write(code, 8)
+        with pytest.raises(MemoryFault):
+            node.pages.check_exec(data, 8)
+
+    def test_null_page_unmapped(self):
+        _, node = make_node()
+        with pytest.raises(MemoryFault):
+            node.pages.check_read(0, 8)
+
+
+class TestMonitors:
+    def test_monitor_fires_on_overlapping_write(self):
+        eng, node = make_node()
+        addr = node.map_region(64, PROT_RW)
+        woke = []
+
+        def waiter():
+            yield node.monitor_event(addr)
+            woke.append(eng.now)
+
+        def writer():
+            yield Delay(5.0)
+            node.mem.write_u64(addr, 1)
+            node.notify_write(addr, 8)
+
+        eng.spawn(waiter())
+        eng.spawn(writer())
+        eng.run()
+        assert woke == [5.0]
+
+    def test_nonoverlapping_write_does_not_wake(self):
+        eng, node = make_node()
+        a = node.map_region(64, PROT_RW)
+        b = node.map_region(64, PROT_RW)
+        woke = []
+
+        def waiter():
+            yield node.monitor_event(a)
+            woke.append(eng.now)
+
+        eng.spawn(waiter())
+        eng.call_at(1.0, node.notify_write, b, 8)
+        eng.run(until=10.0)
+        assert woke == []
+
+    def test_large_write_wakes_contained_monitor(self):
+        eng, node = make_node()
+        base = node.map_region(4096, PROT_RW)
+        woke = []
+
+        def waiter():
+            yield node.monitor_event(base + 2048)
+            woke.append(eng.now)
+
+        eng.spawn(waiter())
+        eng.call_at(3.0, node.notify_write, base, 4096)
+        eng.run()
+        assert woke == [3.0]
+
+    def test_monitor_event_is_cached_per_line(self):
+        _, node = make_node()
+        addr = node.map_region(64, PROT_RW)
+        assert node.monitor_event(addr) is node.monitor_event(addr + 8)
+
+
+class TestPreemption:
+    def test_runnable_delay(self):
+        _, node = make_node()
+        node.preempt(0, 100.0)
+        assert node.runnable_delay(0, 40.0) == 60.0
+        assert node.runnable_delay(0, 200.0) == 0.0
+        assert node.runnable_delay(1, 40.0) == 0.0
+
+    def test_preempt_never_shrinks(self):
+        _, node = make_node()
+        node.preempt(0, 100.0)
+        node.preempt(0, 50.0)
+        assert node.preempt_until[0] == 100.0
+
+
+class TestCycleCounters:
+    def test_busy_and_wait_accumulate(self):
+        _, node = make_node()
+        node.add_busy_cycles(0, 100)
+        node.add_wait_cycles(0, 50)
+        node.add_busy_ns(0, 10.0)  # 26 cycles at 2.6 GHz
+        assert node.cpu_cycles(0) == 176
+        assert node.cpu_cycles(1) == 0
+
+
+class TestStressWorkload:
+    def test_stress_injects_dram_contention_and_preemptions(self):
+        eng = Engine()
+        node = Node(eng, 0)
+        stress = StressWorkload(
+            eng, node, RngPool(1),
+            StressConfig(preempt_prob=0.5, tick_ns=100.0),
+        )
+        stress.start()
+        eng.run(until=5000.0)
+        assert stress.ticks >= 40
+        assert stress.preemptions > 0
+        assert node.hier.dram.busy_until > 0
+
+    def test_stress_stop_halts(self):
+        eng = Engine()
+        node = Node(eng, 0)
+        stress = StressWorkload(eng, node, RngPool(1), StressConfig(tick_ns=100.0))
+        stress.start()
+        eng.run(until=500.0)
+        stress.stop()
+        eng.run()
+        ticks = stress.ticks
+        assert ticks <= 7  # stopped promptly; queue drained
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            eng = Engine()
+            node = Node(eng, 0)
+            s = StressWorkload(eng, node, RngPool(seed),
+                               StressConfig(preempt_prob=0.3, tick_ns=100.0))
+            s.start()
+            eng.run(until=3000.0)
+            return (s.preemptions, node.hier.dram.busy_until)
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)

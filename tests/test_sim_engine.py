@@ -1,0 +1,164 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import At, Delay, Engine, RngPool
+
+
+def test_call_at_ordering_is_time_then_fifo():
+    eng = Engine()
+    seen = []
+    eng.call_at(5.0, seen.append, "b")
+    eng.call_at(1.0, seen.append, "a")
+    eng.call_at(5.0, seen.append, "c")  # same time: insertion order
+    eng.run()
+    assert seen == ["a", "b", "c"]
+    assert eng.now == 5.0
+
+
+def test_call_in_past_rejected():
+    eng = Engine()
+    eng.call_at(10.0, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.call_at(5.0, lambda: None)
+
+
+def test_process_delay_and_return_value():
+    eng = Engine()
+
+    def body():
+        yield Delay(3.0)
+        yield 2.0  # bare number == Delay
+        return "done"
+
+    result = eng.run_process(body())
+    assert result == "done"
+    assert eng.now == 5.0
+
+
+def test_process_at_absolute_time():
+    eng = Engine()
+
+    def body():
+        yield At(42.0)
+        return eng.now
+
+    assert eng.run_process(body()) == 42.0
+
+
+def test_at_in_past_raises():
+    eng = Engine()
+
+    def body():
+        yield Delay(10.0)
+        yield At(1.0)
+
+    with pytest.raises(SimulationError):
+        eng.run_process(body())
+
+
+def test_event_wakes_all_waiters_with_payload():
+    eng = Engine()
+    ev = eng.event("go")
+    got = []
+
+    def waiter(tag):
+        payload = yield ev
+        got.append((tag, payload, eng.now))
+
+    def firer():
+        yield Delay(7.0)
+        ev.fire("hello")
+
+    eng.spawn(waiter("w1"))
+    eng.spawn(waiter("w2"))
+    eng.spawn(firer())
+    eng.run()
+    assert got == [("w1", "hello", 7.0), ("w2", "hello", 7.0)]
+
+
+def test_event_resets_after_fire():
+    eng = Engine()
+    ev = eng.event()
+    wakes = []
+
+    def waiter():
+        yield ev
+        wakes.append(eng.now)
+        yield ev
+        wakes.append(eng.now)
+
+    def firer():
+        yield Delay(1.0)
+        ev.fire()
+        yield Delay(1.0)
+        ev.fire()
+
+    eng.spawn(waiter())
+    eng.spawn(firer())
+    eng.run()
+    assert wakes == [1.0, 2.0]
+    assert ev.fire_count == 2
+
+
+def test_done_event_fires_on_completion():
+    eng = Engine()
+
+    def child():
+        yield Delay(4.0)
+        return 99
+
+    def parent():
+        proc = eng.spawn(child())
+        value = yield proc.done_event
+        return (value, eng.now)
+
+    assert eng.run_process(parent()) == (99, 4.0)
+
+
+def test_run_until_stops_clock():
+    eng = Engine()
+    hits = []
+
+    def body():
+        while True:
+            yield Delay(10.0)
+            hits.append(eng.now)
+
+    eng.spawn(body())
+    eng.run(until=35.0)
+    assert hits == [10.0, 20.0, 30.0]
+    assert eng.now == 35.0
+
+
+def test_runaway_guard():
+    eng = Engine()
+
+    def spinner():
+        while True:
+            yield Delay(0.0)
+
+    eng.spawn(spinner())
+    with pytest.raises(SimulationError, match="spinning"):
+        eng.run(max_events=1000)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Delay(-1.0)
+
+
+def test_rng_pool_streams_are_stable_and_independent():
+    a1 = RngPool(7).child("noise").random(4)
+    a2 = RngPool(7).child("noise").random(4)
+    b = RngPool(7).child("other").random(4)
+    assert a1.tolist() == a2.tolist()
+    assert a1.tolist() != b.tolist()
+
+
+def test_rng_pool_same_child_cached():
+    pool = RngPool(7)
+    assert pool.child("x") is pool.child("x")
+    assert pool.issued_names() == ["x"]

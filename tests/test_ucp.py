@@ -1,0 +1,175 @@
+"""mini-UCX tests: protocol ladder, put path, windowed flow control."""
+
+import pytest
+
+from repro.errors import UcpError
+from repro.machine import PROT_RW
+from repro.rdma import Testbed
+from repro.ucp import (
+    DEFAULT_PROTOCOLS,
+    UcpConfig,
+    UcpWorker,
+    protocol_cost_ns,
+    select_protocol,
+)
+
+
+def make_pair(cfg=None):
+    bed = Testbed.create()
+    w0 = UcpWorker(bed.engine, bed.node0, bed.hca0, cfg)
+    w1 = UcpWorker(bed.engine, bed.node1, bed.hca1, cfg)
+    ep01 = w0.create_ep(bed.qp01)
+    return bed, w0, w1, ep01
+
+
+class TestProtocolLadder:
+    def test_selection_by_size(self):
+        assert select_protocol(1).name == "short"
+        assert select_protocol(64).name == "short"
+        assert select_protocol(65).name == "eager-bcopy"
+        assert select_protocol(1472).name == "eager-bcopy"
+        assert select_protocol(1473).name == "eager-zcopy"
+        assert select_protocol(2432).name == "eager-zcopy"
+        assert select_protocol(2433).name == "multi-zcopy"
+        assert select_protocol(1 << 20).name == "multi-zcopy"
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(UcpError):
+            select_protocol(-1)
+
+    def test_just_over_threshold_is_locally_pessimal(self):
+        """Crossing into a new protocol momentarily raises software cost —
+        the Fig 7 artifact."""
+        for proto, nxt in zip(DEFAULT_PROTOCOLS, DEFAULT_PROTOCOLS[1:]):
+            at_max = protocol_cost_ns(proto.max_size)
+            just_over = protocol_cost_ns(proto.max_size + 1)
+            assert just_over > at_max, (proto.name, nxt.name)
+
+    def test_cost_monotone_within_protocol(self):
+        assert protocol_cost_ns(2000) <= protocol_cost_ns(2432)
+
+
+class TestPutPath:
+    def test_put_delivers_payload(self):
+        bed, w0, w1, ep = make_pair()
+        src = bed.node0.map_region(256, PROT_RW)
+        dst = bed.node1.map_region(256, PROT_RW)
+        bed.node0.mem.write(src, b"x" * 200)
+        mr = w1.register(dst, 256)
+        req = ep.put_nbi(0.0, src, dst, 200, mr.rkey)
+        bed.engine.run()
+        assert req.ok
+        assert bed.node1.mem.read(dst, 200) == b"x" * 200
+        assert req.protocol == "eager-bcopy"
+
+    def test_bcopy_stages_through_bounce(self):
+        bed, w0, w1, ep = make_pair()
+        src = bed.node0.map_region(256, PROT_RW)
+        dst = bed.node1.map_region(256, PROT_RW)
+        bed.node0.mem.write(src, b"y" * 100)
+        mr = w1.register(dst, 256)
+        ep.put_nbi(0.0, src, dst, 100, mr.rkey)
+        assert bed.node0.mem.read(w0.bounce, 100) == b"y" * 100
+
+    def test_zcopy_does_not_touch_bounce(self):
+        bed, w0, w1, ep = make_pair()
+        size = 2000
+        src = bed.node0.map_region(size, PROT_RW)
+        dst = bed.node1.map_region(size, PROT_RW)
+        bed.node0.mem.write(src, b"z" * size)
+        mr = w1.register(dst, size)
+        req = ep.put_nbi(0.0, src, dst, size, mr.rkey)
+        assert req.protocol == "eager-zcopy"
+        assert bed.node0.mem.read(w0.bounce, 8) == b"\0" * 8
+
+    def test_bcopy_larger_than_pool_rejected(self):
+        cfg = UcpConfig(bounce_bytes=4096)
+        bed, w0, w1, ep = make_pair(cfg)
+        src = bed.node0.map_region(8192, PROT_RW)
+        # force a bcopy-sized config by raising the bcopy threshold
+        from repro.ucp.protocols import Protocol
+        big_bcopy = (Protocol("short", 64, 38.0, 0.0, False),
+                     Protocol("eager-bcopy", 1 << 20, 96.0, 0.05, True))
+        w0.cfg = UcpConfig(protocols=big_bcopy, bounce_bytes=4096)
+        with pytest.raises(UcpError, match="bounce"):
+            ep.put_nbi(0.0, src, src, 8192, 1)
+
+    def test_untracked_put_skips_request_tracking(self):
+        bed, w0, w1, ep = make_pair()
+        src = bed.node0.map_region(64, PROT_RW)
+        dst = bed.node1.map_region(64, PROT_RW)
+        mr = w1.register(dst, 64)
+        ep.put_nbi(0.0, src, dst, 8, mr.rkey, track=False)
+        assert ep.inflight == []
+        ep.put_nbi(0.0, src, dst, 8, mr.rkey, track=True)
+        assert len(ep.inflight) == 1
+
+    def test_endpoint_requires_matching_hca(self):
+        bed, w0, w1, _ = make_pair()
+        with pytest.raises(UcpError):
+            w0.create_ep(bed.qp10)  # qp10 is rooted at hca1
+
+
+class TestFlowControl:
+    def test_flush_waits_for_all(self):
+        bed, w0, w1, ep = make_pair()
+        src = bed.node0.map_region(4096, PROT_RW)
+        dst = bed.node1.map_region(4096 * 8, PROT_RW)
+        mr = w1.register(dst, 4096 * 8)
+
+        result = {}
+
+        def sender():
+            reqs = [ep.put_nbi(bed.engine.now, src, dst + i * 4096, 4096,
+                               mr.rkey) for i in range(8)]
+            yield from ep.flush()
+            result["flushed_at"] = bed.engine.now
+            result["all_ok"] = all(r.ok for r in reqs)
+            result["max_completed"] = max(r.completion.completed_at
+                                          for r in reqs)
+
+        bed.engine.run_process(sender())
+        assert result["all_ok"]
+        assert result["flushed_at"] >= result["max_completed"]
+        assert ep.inflight == []
+
+    def test_window_admit_blocks_at_byte_window(self):
+        cfg = UcpConfig(fc_window_bytes=128)  # window of 2 for 64B puts
+        bed, w0, w1, ep = make_pair(cfg)
+        src = bed.node0.map_region(64, PROT_RW)
+        dst = bed.node1.map_region(64 * 16, PROT_RW)
+        mr = w1.register(dst, 64 * 16)
+        high_water = {"max": 0}
+
+        def sender():
+            for i in range(10):
+                yield from ep.window_admit(64)
+                ep.put_nbi(bed.engine.now, src, dst + 64 * i, 64, mr.rkey)
+                high_water["max"] = max(high_water["max"], len(ep.inflight))
+            yield from ep.flush()
+
+        bed.engine.run_process(sender())
+        assert high_water["max"] <= 2
+
+    def test_window_scales_inversely_with_size(self):
+        bed, w0, w1, ep = make_pair()
+        assert ep.window_for(64) > ep.window_for(4096) >= ep.window_for(65536)
+        assert ep.window_for(1 << 30) == 1
+
+    def test_reap_completed_is_free_and_pops(self):
+        bed, w0, w1, ep = make_pair()
+        src = bed.node0.map_region(64, PROT_RW)
+        dst = bed.node1.map_region(64, PROT_RW)
+        mr = w1.register(dst, 64)
+        req = ep.put_nbi(0.0, src, dst, 8, mr.rkey)
+        assert ep.reap_completed() == 0  # not yet delivered
+        bed.engine.run()
+        assert ep.reap_completed() == 1
+        assert ep.inflight == []
+
+    def test_progress_cost_accrues_cpu(self):
+        bed, w0, w1, ep = make_pair()
+        before = bed.node0.cpu_cycles(0)
+        w0.progress_cost()
+        assert bed.node0.cpu_cycles(0) > before
+        assert w0.progress_calls == 1
