@@ -4,67 +4,19 @@ Measures the streaming rate of (a) always-injected, (b) always-local,
 (c) adaptive (inject 4x, then auto-switch) Indirect Put messages (the
 1408 B code body is what the switch stops shipping).
 Adaptive should converge to near-local throughput while preserving the
-first-contact property that the receiver never needed pre-registration."""
-
-from repro.core import AdaptiveJamSender, connect_runtimes
-from repro.core.stdworld import make_world
-from repro.bench.shapes import am_injection_rate
-from repro.machine import PROT_RW
+first-contact property that the receiver never needed pre-registration.
+Sweep: ``abl_adaptive`` in repro.bench.ablations."""
 
 
-def _adaptive_rate(messages: int = 400):
-    world = make_world()
-    nb = 32
-    fsize = world.frame_size_for("jam_indirect_put", nb, True)
-    mb = world.server.create_mailbox(4, 8, fsize)
-    conn = connect_runtimes(world.client, world.server, mb,
-                            flow_control=True)
-    pkg = world.client.packages[world.build.package_id]
-    payload = world.bed.node0.map_region(64, PROT_RW)
-    sender = AdaptiveJamSender(conn, pkg, "jam_indirect_put", payload,
-                               nb, threshold=4)
-    done = world.engine.event("done")
-    seen = {"n": 0, "t": 0.0}
-
-    def on_frame(view, slot_addr):
-        seen["n"] += 1
-        if seen["n"] >= messages:
-            seen["t"] = world.engine.now
-            done.fire()
-
-    waiter = world.server.make_waiter(mb, on_frame=on_frame,
-                                      flag_target=conn.flag_target())
-    waiter.start()
-    marks = {}
-
-    def driver():
-        marks["t0"] = world.engine.now
-        for _ in range(messages):
-            yield from sender.send()
-        yield done
-        waiter.stop()
-
-    world.engine.run_process(driver())
-    assert sender.stats.switched
-    rate = messages / ((seen["t"] - marks["t0"]) * 1e-9)
-    return rate, sender.stats
-
-
-def test_ablation_adaptive_injection(benchmark):
-    def sweep():
-        inj = am_injection_rate(make_world(), "jam_indirect_put", 32,
-                                inject=True, messages=400).rate_mps
-        loc = am_injection_rate(make_world(), "jam_indirect_put", 32,
-                                inject=False, messages=400).rate_mps
-        ada, stats = _adaptive_rate(400)
-        return inj, loc, ada, stats
-
-    inj, loc, ada, stats = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    saved_frac = stats.wire_bytes_saved / (400 * 1536)
+def test_ablation_adaptive_injection(figure):
+    result = figure("abl_adaptive")
+    rate = dict(zip(result.x, result.series["rate_mps"]))
+    inj, loc, ada = rate["injected"], rate["local"], rate["adaptive"]
+    saved_pct = result.metrics["adaptive_wire_saved_pct"]
     print(f"\n  always-injected: {inj/1e6:6.2f} M msg/s")
     print(f"  always-local:    {loc/1e6:6.2f} M msg/s")
     print(f"  adaptive:        {ada/1e6:6.2f} M msg/s "
-          f"(wire bytes saved: {100*saved_frac:.0f}%)")
+          f"(wire bytes saved: {saved_pct:.0f}%)")
     # Local invocation beats injection at this size (no 1408 B of code
     # per message), which is exactly why the auto-switch exists.
     assert loc > inj
@@ -73,5 +25,5 @@ def test_ablation_adaptive_injection(benchmark):
     # the bytes on the wire drop by >80% — capacity freed for the rest
     # of the application (the paper's motivation for the switch).
     assert ada > 0.8 * inj
-    assert saved_frac > 0.8
-    assert stats.injected_sends == 4
+    assert saved_pct > 80.0
+    assert result.metrics["adaptive_injected_sends"] == 4

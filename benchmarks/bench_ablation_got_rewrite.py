@@ -3,10 +3,11 @@
 The §III-B static modification redirects GOT accesses through the
 pointer shipped in the message.  Without it, injected code computes its
 GOT address PC-relative to wherever it happens to land — i.e. into
-arbitrary mailbox bytes.  This bench shows (a) the rewritten jam works,
-(b) the *unrewritten* binary injected verbatim faults or misresolves,
-and times the toolchain's rewrite pass itself.
-"""
+arbitrary mailbox bytes.  The registered ``abl_got`` sweep shows the
+rewrite is a same-size in-place patch that removes every LDG from every
+standard jam; the functional test below shows (a) the rewritten jam
+works from an arbitrary location, and (b) the *unrewritten* binary
+injected verbatim faults or misresolves."""
 
 import pytest
 
@@ -14,10 +15,19 @@ from repro.amc import compile_amc
 from repro.core import count_got_accesses, rewrite_got_accesses
 from repro.core.stdjams import JAM_INDIRECT_PUT
 from repro.errors import ReproError
-from repro.isa import Op
 
 
-def test_ablation_got_rewrite(benchmark):
+def test_ablation_got_rewrite_sweep(figure):
+    result = figure("abl_got")
+    # every standard jam uses the GOT, so the ablation is meaningful...
+    assert all(n > 0 for n in result.series["ldg_before"])
+    # ...every LDG becomes an LDGI...
+    assert result.series["ldgi_after"] == result.series["ldg_before"]
+    # ...and the patch never changes the code size.
+    assert all(d == 0 for d in result.series["size_delta"])
+
+
+def test_ablation_got_rewrite_functional(benchmark):
     om = compile_amc(JAM_INDIRECT_PUT.source).module
     ldg_before, _ = count_got_accesses(om.text)
     assert ldg_before > 0, "jam must use the GOT for this ablation"
@@ -28,7 +38,7 @@ def test_ablation_got_rewrite(benchmark):
     assert len(patched) == len(om.text)  # same-size in-place patch
 
     # Functional necessity: run both forms from a mailbox-like location.
-    from repro.isa import Vm, decode_program
+    from repro.isa import Vm
     from repro.machine import PROT_RW, PROT_RWX
     from tests.util import fresh_node
 

@@ -2,26 +2,16 @@
 
 The paper's flow control gives each bank a sender-side flag set once per
 bank drain.  Deeper mailboxes amortize the flag round-trip; a single
-1x1 mailbox serializes on it entirely."""
-
-from repro.bench.shapes import am_injection_rate
-from repro.core.stdworld import make_world
+1x1 mailbox serializes on it entirely.
+Sweep: ``abl_mailbox`` in repro.bench.ablations."""
 
 
-def test_ablation_mailbox_depth(benchmark):
-    def sweep():
-        out = {}
-        for banks, slots in ((1, 1), (1, 8), (2, 8), (4, 8), (4, 16)):
-            rate = am_injection_rate(make_world(), "jam_ss_sum", 64,
-                                     messages=300, banks=banks,
-                                     slots=slots).rate_mps
-            out[(banks, slots)] = rate
-        return out
-
-    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+def test_ablation_mailbox_depth(figure):
+    result = figure("abl_mailbox")
+    rates = dict(zip(result.x, result.series["rate_mps"]))
     print()
-    for (banks, slots), rate in rates.items():
-        print(f"  {banks}x{slots:<3d} mailboxes: {rate / 1e6:6.2f} M msg/s")
+    for geom, rate in rates.items():
+        print(f"  {geom:5s} mailboxes: {rate / 1e6:6.2f} M msg/s")
     # Depth must help substantially, then saturate.
-    assert rates[(4, 8)] > 2.0 * rates[(1, 1)]
-    assert rates[(4, 16)] >= 0.9 * rates[(4, 8)]
+    assert rates["4x8"] > 2.0 * rates["1x1"]
+    assert rates["4x16"] >= 0.9 * rates["4x8"]

@@ -4,63 +4,13 @@ The runtime "does not take over the entire system" (SS VII-C) but a
 receiver may dedicate several cores to mailboxes.  With the Indirect Put
 jam at a payload large enough to be execution-bound, waiters pinned to
 different cores should overlap message processing and scale aggregate
-rate until the wire or the sender binds."""
-
-from repro.core import connect_runtimes
-from repro.core.runtime import PreparedJam
-from repro.core.stdworld import make_world
-from repro.machine import PROT_RW
+rate until the wire or the sender binds.
+Sweep: ``abl_multicore`` in repro.bench.ablations."""
 
 
-def _rate(ncores: int, messages_per_core: int = 150,
-          payload_bytes: int = 4096) -> float:
-    world = make_world()
-    engine = world.engine
-    fsize = world.frame_size_for("jam_indirect_put", payload_bytes, True)
-    pkg = world.client.packages[world.build.package_id]
-    total = ncores * messages_per_core
-    done = engine.event("all")
-    state = {"seen": 0, "t_end": 0.0}
-
-    def on_frame(view, slot_addr):
-        state["seen"] += 1
-        if state["seen"] >= total:
-            state["t_end"] = engine.now
-            done.fire()
-
-    lanes = []
-    for core in range(ncores):
-        mb = world.server.create_mailbox(2, 4, fsize)
-        conn = connect_runtimes(world.client, world.server, mb,
-                                flow_control=True)
-        waiter = world.server.make_waiter(
-            mb, on_frame=on_frame, flag_target=conn.flag_target(),
-            core=core)
-        waiter.start()
-        payload = world.bed.node0.map_region(payload_bytes, PROT_RW)
-        # distinct keys per lane so heap writes don't collide
-        pj = PreparedJam(conn, pkg, "jam_indirect_put", payload,
-                         payload_bytes, args=(1000 + core,))
-        lanes.append((pj, waiter))
-
-    marks = {}
-
-    def sender():
-        marks["t0"] = engine.now
-        for i in range(messages_per_core):
-            for pj, _ in lanes:
-                yield from pj.send()
-        yield done
-        for _, w in lanes:
-            w.stop()
-
-    engine.run_process(sender())
-    return total / ((state["t_end"] - marks["t0"]) * 1e-9)
-
-
-def test_ablation_multicore_waiters(benchmark):
-    rates = benchmark.pedantic(
-        lambda: {n: _rate(n) for n in (1, 2, 4)}, rounds=1, iterations=1)
+def test_ablation_multicore_waiters(figure):
+    result = figure("abl_multicore")
+    rates = dict(zip(result.x, result.series["rate_mps"]))
     print()
     for n, r in rates.items():
         print(f"  {n} waiter core(s): {r / 1e6:6.2f} M msg/s")

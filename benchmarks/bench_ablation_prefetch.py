@@ -3,33 +3,19 @@
 The paper attributes the narrowing of the stash advantage at large sizes
 to the hardware prefetcher.  The 2x2 factorial makes that attribution
 testable: with the prefetcher disabled, non-stashed large messages lose
-their latency mask and the stash advantage must widen."""
-
-from repro.bench.shapes import am_pingpong
-from repro.core.stdworld import make_world
-from repro.machine import HierarchyConfig
+their latency mask and the stash advantage must widen.
+Sweep: ``abl_prefetch`` in repro.bench.ablations."""
 
 
-def test_ablation_prefetch_x_stash(benchmark):
-    def sweep():
-        out = {}
-        for stash in (True, False):
-            for prefetch in (True, False):
-                cfg = HierarchyConfig(stash_enabled=stash,
-                                      prefetch_enabled=prefetch)
-                out[(stash, prefetch)] = am_pingpong(
-                    make_world(hier_cfg=cfg), "jam_indirect_put", 4096,
-                    warmup=8, iters=20).stats.p50
-        return out
-
-    lat = benchmark.pedantic(sweep, rounds=1, iterations=1)
+def test_ablation_prefetch_x_stash(figure):
+    result = figure("abl_prefetch")
+    lat = dict(zip(result.x, result.series["p50_ns"]))
     print()
-    for (stash, pf), v in lat.items():
-        print(f"  stash={stash!s:5} prefetch={pf!s:5}: {v:8.1f} ns")
-    gain_with_pf = lat[(False, True)] - lat[(True, True)]
-    gain_without_pf = lat[(False, False)] - lat[(True, False)]
+    for config, v in lat.items():
+        print(f"  {config:15s}: {v:8.1f} ns")
     # Without the prefetcher, stashing matters even more at 4KB payloads.
-    assert gain_without_pf > gain_with_pf
+    assert (result.metrics["stash_gain_without_pf_ns"]
+            > result.metrics["stash_gain_with_pf_ns"])
     # Prefetching barely matters when data is stashed (already in LLC).
-    assert abs(lat[(True, True)] - lat[(True, False)]) < \
-        0.25 * (lat[(False, False)] - lat[(True, True)])
+    assert result.metrics["pf_effect_when_stashed_ns"] < \
+        0.25 * (lat["neither"] - lat["stash+prefetch"])

@@ -3,32 +3,17 @@
 The paper claims none of its mitigations "would necessarily incur large
 performance penalties"; this bench quantifies each on the simulated
 testbed.  Receiver-inserted GOTP is near-free (~one store); W^X staging
-pays an mprotect + copy per message."""
-
-from repro.bench.shapes import am_pingpong
-from repro.core import RuntimeConfig
-from repro.core.stdworld import make_world
+pays an mprotect + copy per message.
+Sweep: ``abl_security`` in repro.bench.ablations."""
 
 
-def _lat(cfg: RuntimeConfig) -> float:
-    world = make_world(server_cfg=cfg)
-    world.client.cfg.sender_sets_gotp = cfg.sender_sets_gotp
-    return am_pingpong(world, "jam_ss_sum", 64, warmup=8,
-                       iters=30).stats.p50
-
-
-def test_ablation_security_costs(benchmark):
-    results = benchmark.pedantic(lambda: {
-        "baseline": _lat(RuntimeConfig()),
-        "receiver_gotp": _lat(RuntimeConfig(sender_sets_gotp=False)),
-        "split_wx": _lat(RuntimeConfig(split_code_pages=True)),
-    }, rounds=1, iterations=1)
-    base = results["baseline"]
-    gotp_cost = (results["receiver_gotp"] - base) / base
-    wx_cost = (results["split_wx"] - base) / base
-    print(f"\nreceiver-GOTP: {100 * gotp_cost:+.2f}%   "
-          f"W^X staging: {100 * wx_cost:+.2f}%")
+def test_ablation_security_costs(figure):
+    result = figure("abl_security")
+    gotp_cost = result.metrics["receiver_gotp_cost_pct"]
+    wx_cost = result.metrics["split_wx_cost_pct"]
+    print(f"\nreceiver-GOTP: {gotp_cost:+.2f}%   "
+          f"W^X staging: {wx_cost:+.2f}%")
     # receiver-set GOTP is a single store: well under 2%
-    assert gotp_cost < 0.02
+    assert gotp_cost < 2.0
     # W^X costs a per-message mprotect+copy: real but bounded
-    assert 0.02 < wx_cost < 0.60
+    assert 2.0 < wx_cost < 60.0

@@ -3,11 +3,9 @@
 Paper: no significant latency drop for messages going through the
 reactive mailbox; 1.5% worse at the very worst."""
 
-from repro.bench.figures import fig5_put_latency_overhead
-
 
 def test_fig5_put_latency_overhead(figure):
-    result = figure(fig5_put_latency_overhead)
+    result = figure("fig5")
     # Shape: the mailbox path stays within a few percent of a raw put at
     # every size (the paper's bound is 1.5%; we allow a wider band).
     assert result.metrics["max_overhead_pct"] <= 5.0

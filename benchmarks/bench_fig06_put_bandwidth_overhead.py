@@ -4,11 +4,9 @@ Paper: the AM mailbox path beats the UCX put test at every size,
 1.79x up to 4.48x, because the put path carries flow-control and
 completion-detection overheads the reactive mailbox avoids."""
 
-from repro.bench.figures import fig6_put_bandwidth_overhead
-
 
 def test_fig6_put_bandwidth_overhead(figure):
-    result = figure(fig6_put_bandwidth_overhead)
+    result = figure("fig6")
     # AM wins at every size...
     assert result.metrics["min_speedup"] > 1.2
     # ...by more at small sizes than the minimum, with the overall band

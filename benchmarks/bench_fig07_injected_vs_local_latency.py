@@ -5,11 +5,12 @@ Paper: ~40% worse latency at small payloads (the injected message carries
 where the injected size crosses a UCX protocol threshold.  Server-Side
 Sum (smaller code) converges sooner, around 64 integers."""
 
-from repro.bench.figures import fig7_injected_vs_local_latency
+import benchmarks.conftest as cfg
+from repro.bench.figures import run_spec
 
 
 def test_fig7_indirect_put(figure):
-    result = figure(fig7_injected_vs_local_latency)
+    result = figure("fig7")
     loss = result.series["loss_pct"]
     # Starts high...
     assert loss[0] >= 15.0
@@ -19,12 +20,10 @@ def test_fig7_indirect_put(figure):
 
 
 def test_fig7_sum_converges_sooner(figure):
-    ssum = figure(fig7_injected_vs_local_latency, jam="jam_ss_sum")
+    ssum = figure("fig7_sum")
     # the comparison sweep runs outside the benchmark fixture (it may
     # only time one callable)
-    import benchmarks.conftest as cfg
-    iput = fig7_injected_vs_local_latency(fast=not cfg.FULL,
-                                          jam="jam_indirect_put")
+    iput = run_spec("fig7", fast=not cfg.FULL)
     # The sum jam ships ~3x less code: its overhead is smaller everywhere
     # and negligible much earlier (paper: ~64 ints vs 1024 ints).
     for s_loss, i_loss in zip(ssum.series["loss_pct"],

@@ -4,11 +4,9 @@ Paper: message-rate losses mirror the latency losses — roughly 40% at
 small payloads from the extra bytes per message, negligible once the
 payload dwarfs the code."""
 
-from repro.bench.figures import fig8_injected_vs_local_rate
-
 
 def test_fig8_injected_vs_local_rate(figure):
-    result = figure(fig8_injected_vs_local_rate)
+    result = figure("fig8")
     loss = result.series["rate_loss_pct"]
     # Injected is slower at small payloads (loss is negative rate delta).
     assert loss[0] <= -15.0

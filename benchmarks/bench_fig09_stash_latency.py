@@ -4,11 +4,9 @@ Paper: stashing the message code+data into the LLC cuts latency by up to
 31%; the advantage narrows once messages are large enough for the
 prefetcher to mask DRAM latency."""
 
-from repro.bench.figures import fig9_stash_latency
-
 
 def test_fig9_stash_latency(figure):
-    result = figure(fig9_stash_latency)
+    result = figure("fig9")
     red = result.series["reduction_pct"]
     # Stashing always helps...
     assert min(red) > 0.0

@@ -4,11 +4,9 @@ Paper: up to 92% (1.9x) more Indirect Put messages per second at small
 put counts, narrowing with size; Server-Side Sum (linear, prefetchable)
 gains at most ~28%."""
 
-from repro.bench.figures import fig10_stash_rate
-
 
 def test_fig10_indirect_put_rate(figure):
-    result = figure(fig10_stash_rate, jam="jam_indirect_put")
+    result = figure("fig10")
     inc = result.series["increase_pct"]
     # Large gain at small put counts, in the neighbourhood of the paper's
     # 92%...
@@ -18,7 +16,7 @@ def test_fig10_indirect_put_rate(figure):
 
 
 def test_fig10_sum_rate_modest(figure):
-    result = figure(fig10_stash_rate, jam="jam_ss_sum")
+    result = figure("fig10_sum")
     # The linear access pattern is easy to prefetch: gains stay modest
     # (paper: up to 28%).
     assert max(result.series["increase_pct"]) <= 45.0

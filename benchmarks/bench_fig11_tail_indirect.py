@@ -4,11 +4,9 @@ Paper: with stress-ng thrashing memory on every core, LLC stashing keeps
 the p99.9 tail up to 2.4x lower; the stash tail-spread peaks at 182%
 while non-stashing behaves erratically."""
 
-from repro.bench.figures import fig11_tail_indirect
-
 
 def test_fig11_tail_indirect(figure):
-    result = figure(fig11_tail_indirect)
+    result = figure("fig11")
     # Stash tails are significantly better (paper: up to 2.4x).
     assert result.metrics["max_tail_improvement"] >= 1.4
     assert result.metrics["max_tail_improvement"] <= 8.0

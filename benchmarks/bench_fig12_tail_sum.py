@@ -3,11 +3,9 @@
 Paper: stashing's p99.9 is generally better (up to 2x); from the 2 KB
 size up the stash spread stays within 137% of the median."""
 
-from repro.bench.figures import fig12_tail_sum
-
 
 def test_fig12_tail_sum(figure):
-    result = figure(fig12_tail_sum)
+    result = figure("fig12")
     assert result.metrics["max_tail_improvement"] >= 1.3
     for st, ns in zip(result.series["stash_p999"],
                       result.series["nonstash_p999"]):

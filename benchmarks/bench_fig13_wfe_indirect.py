@@ -3,11 +3,9 @@
 Paper: latency is essentially unchanged (<=1.5% penalty, worst at 64 B)
 while the CPU cycles burned by the waiting core drop 2.5x-3.8x."""
 
-from repro.bench.figures import fig13_wfe_indirect
-
 
 def test_fig13_wfe_indirect(figure):
-    result = figure(fig13_wfe_indirect)
+    result = figure("fig13")
     assert result.metrics["max_latency_penalty_pct"] <= 3.0
     assert result.metrics["min_cycle_reduction"] >= 2.0
     assert result.metrics["max_cycle_reduction"] <= 5.5

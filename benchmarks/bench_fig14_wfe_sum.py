@@ -4,11 +4,9 @@ Paper: virtually no latency difference; 3.6x fewer cycles at 512 B,
 contracting to 1.84x at 32 KB (execution work grows with size, waiting
 does not)."""
 
-from repro.bench.figures import fig14_wfe_sum
-
 
 def test_fig14_wfe_sum(figure):
-    result = figure(fig14_wfe_sum)
+    result = figure("fig14")
     assert result.metrics["max_latency_penalty_pct"] <= 3.0
     red = result.series["cycle_reduction"]
     # Reduction shrinks as payload (and thus execution work) grows.

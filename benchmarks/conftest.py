@@ -1,10 +1,13 @@
 """Shared helpers for the figure-reproduction benchmarks.
 
-Each ``bench_fig*.py`` regenerates one figure from §VII of the paper:
-it runs the same sweep (shrunk via ``fast=True`` to keep the suite quick;
-set ``REPRO_FULL_SWEEPS=1`` for the full axes recorded in EXPERIMENTS.md),
-prints the series as a table, asserts the paper's qualitative shape, and
-reports wall-clock time through pytest-benchmark.
+Each ``bench_*.py`` file is a thin consumer of the sweep registry
+(:mod:`repro.bench.figures` / :mod:`repro.bench.ablations`): it runs one
+registered sweep by name (shrunk via ``fast=True`` to keep the suite
+quick; set ``REPRO_FULL_SWEEPS=1`` for the full axes recorded in
+EXPERIMENTS.md), prints the series as a table, asserts the paper's
+qualitative shape, and reports wall-clock time through pytest-benchmark.
+The same sweeps, run through the same registry, feed ``twochains bench
+run`` (see docs/BENCHMARKS.md).
 """
 
 import os
@@ -14,12 +17,20 @@ import pytest
 FULL = bool(int(os.environ.get("REPRO_FULL_SWEEPS", "0")))
 
 
-def run_figure(benchmark, fig_fn, **kwargs):
-    """Run a figure driver once under pytest-benchmark and print it."""
+def run_figure(benchmark, fig, **kwargs):
+    """Run a sweep once under pytest-benchmark and print its table.
+
+    ``fig`` is a registry name ("fig5", "abl_mailbox", ...); legacy
+    driver callables such as ``fig5_put_latency_overhead`` also work.
+    """
+    from repro.bench.figures import run_spec
     from repro.bench.report import render_figure
 
-    result = benchmark.pedantic(
-        lambda: fig_fn(fast=not FULL, **kwargs), rounds=1, iterations=1)
+    if callable(fig):
+        fn = lambda: fig(fast=not FULL, **kwargs)  # noqa: E731
+    else:
+        fn = lambda: run_spec(fig, fast=not FULL, **kwargs)  # noqa: E731
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
     print()
     print(render_figure(result))
     return result
@@ -27,6 +38,6 @@ def run_figure(benchmark, fig_fn, **kwargs):
 
 @pytest.fixture
 def figure(benchmark):
-    def _run(fig_fn, **kwargs):
-        return run_figure(benchmark, fig_fn, **kwargs)
+    def _run(fig, **kwargs):
+        return run_figure(benchmark, fig, **kwargs)
     return _run

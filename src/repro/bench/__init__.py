@@ -1,5 +1,8 @@
-"""Benchmark harness: shapes, statistics, per-figure drivers, reporting."""
+"""Benchmark harness: shapes, statistics, per-figure drivers, the sweep
+registry, the parallel orchestrator with its on-disk result cache, and
+text/JSON reporting."""
 
+from . import ablations  # noqa: F401  (registers the abl_* sweeps)
 from .calibration import (
     BYTE_SIZES,
     INT_COUNTS,
@@ -10,8 +13,23 @@ from .calibration import (
     WARMUP_ITERS,
     within_band,
 )
-from .figures import ALL_FIGURES, FigureResult
-from .report import print_figure, render_figure
+from .figures import (
+    ALL_FIGURES,
+    REGISTRY,
+    FigureResult,
+    FigureSpec,
+    full_registry,
+    run_spec,
+)
+from .orchestrator import (
+    FigureRun,
+    diff_paths,
+    diff_payloads,
+    run_figures,
+    write_runs,
+)
+from .report import bench_payload, print_figure, render_diff, render_figure
+from .resultstore import SCHEMA_VERSION, ResultStore, point_key
 from .shapes import (
     PingPongOutcome,
     RateOutcome,
@@ -26,22 +44,36 @@ __all__ = [
     "ALL_FIGURES",
     "BYTE_SIZES",
     "FigureResult",
+    "FigureRun",
+    "FigureSpec",
     "INT_COUNTS",
     "LatencyStats",
     "MEASURE_ITERS",
     "PingPongOutcome",
     "RATE_MESSAGES",
+    "REGISTRY",
     "RateOutcome",
+    "ResultStore",
+    "SCHEMA_VERSION",
     "TAIL_ITERS",
     "TARGETS",
     "WARMUP_ITERS",
     "am_injection_rate",
     "am_pingpong",
+    "bench_payload",
+    "diff_paths",
+    "diff_payloads",
+    "full_registry",
     "pct_diff",
+    "point_key",
     "print_figure",
+    "render_diff",
     "render_figure",
+    "run_figures",
+    "run_spec",
     "summarize",
     "ucx_put_pingpong",
     "ucx_put_stream",
     "within_band",
+    "write_runs",
 ]

@@ -1,0 +1,286 @@
+"""Parallel benchmark orchestrator: run figure sweeps, cache, serialize.
+
+One entry point (``twochains bench run``) discovers every registered
+sweep (:func:`repro.bench.figures.full_registry`), fans the independent
+sweep points out across a ``multiprocessing`` pool (each DES run is
+single-threaded and embarrassingly parallel), and caches completed
+points in a :class:`~.resultstore.ResultStore` so re-runs only pay for
+what actually changed.  Every run writes one versioned
+``BENCH_<figure>.json`` per figure (schema: docs/BENCHMARKS.md) and
+``bench diff`` compares two result sets, flagging direction-aware
+regressions beyond a noise threshold.
+
+Results are deterministic: points are assembled in sweep order no matter
+which worker finished first, and everything host- or time-dependent
+lives under the payload's ``meta`` key.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+
+from ..sim.rng import DEFAULT_SEED
+from .figures import FigureResult, FigureSpec, assemble, full_registry
+from .report import bench_payload, render_figure
+from .resultstore import (
+    ResultStore,
+    code_version,
+    git_sha,
+)
+from .stats import pct_diff
+
+
+@dataclass
+class PointRecord:
+    """One sweep point: its params, measured row, and cache provenance."""
+
+    params: dict
+    row: dict
+    cached: bool
+    key: str | None
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class FigureRun:
+    """One figure's completed sweep plus orchestration bookkeeping."""
+
+    spec: FigureSpec
+    result: FigureResult
+    points: list[PointRecord]
+    wall_s: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def resolve_names(names: list[str] | None) -> list[str]:
+    """Validate figure names against the registry (None = everything)."""
+    registry = full_registry()
+    if not names:
+        return list(registry)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        raise ValueError(
+            f"unknown figure(s) {', '.join(unknown)}; choices: "
+            f"{', '.join(registry)}")
+    return list(names)
+
+
+def _exec_point(task: tuple[str, dict]) -> tuple[dict, float]:
+    """Pool worker: run one sweep point, return (row, elapsed seconds)."""
+    name, params = task
+    spec = full_registry()[name]
+    t0 = time.perf_counter()
+    row = spec.point(**params)
+    return row, time.perf_counter() - t0
+
+
+def run_figures(names: list[str] | None = None, *, fast: bool = True,
+                smoke: bool = False, jobs: int = 1,
+                store: ResultStore | None = None,
+                log=None) -> list[FigureRun]:
+    """Run the requested sweeps, reusing cached points, fanning out misses.
+
+    ``smoke`` keeps only the first point of every sweep (the CI target).
+    ``jobs`` > 1 runs uncached points in a process pool; assembly order
+    is always the sweep order, so parallel runs are bit-identical to
+    serial ones.
+    """
+    names = resolve_names(names)
+    registry = full_registry()
+    t_start = time.perf_counter()
+
+    plans: list[tuple[str, list[dict]]] = []
+    records: dict[str, list[PointRecord | None]] = {}
+    pending: list[tuple[str, int]] = []
+    for name in names:
+        points = registry[name].points(fast)
+        if smoke:
+            points = points[:1]
+        plans.append((name, points))
+        records[name] = [None] * len(points)
+        for i, params in enumerate(points):
+            key = store.key_for(name, params) if store else None
+            row = store.get(key) if store else None
+            if row is not None:
+                records[name][i] = PointRecord(params, row, True, key)
+            else:
+                pending.append((name, i))
+
+    if log and pending:
+        log(f"bench: {sum(len(p) for _, p in plans)} points, "
+            f"{len(pending)} to run, jobs={jobs}")
+
+    plan_by_name = dict(plans)
+    tasks = [(name, plan_by_name[name][i]) for name, i in pending]
+
+    if tasks:
+        if jobs > 1 and len(tasks) > 1:
+            with multiprocessing.Pool(min(jobs, len(tasks))) as pool:
+                outs = pool.map(_exec_point, tasks, chunksize=1)
+        else:
+            outs = [_exec_point(t) for t in tasks]
+        for (name, i), (row, elapsed) in zip(pending, outs):
+            params = plan_by_name[name][i]
+            key = store.key_for(name, params) if store else None
+            if store:
+                store.put(key, name, params, row)
+            records[name][i] = PointRecord(params, row, False, key,
+                                           elapsed_s=elapsed)
+
+    runs: list[FigureRun] = []
+    for name, points in plans:
+        recs = records[name]
+        result = assemble(registry[name], [r.row for r in recs])
+        runs.append(FigureRun(
+            spec=registry[name],
+            result=result,
+            points=recs,
+            wall_s=sum(r.elapsed_s for r in recs),
+            cache_hits=sum(1 for r in recs if r.cached),
+            cache_misses=sum(1 for r in recs if not r.cached),
+        ))
+    total_wall = time.perf_counter() - t_start
+    if log:
+        hits = sum(r.cache_hits for r in runs)
+        misses = sum(r.cache_misses for r in runs)
+        log(f"bench: done in {total_wall:.1f}s "
+            f"({hits} cached, {misses} run)")
+    return runs
+
+
+def build_meta(*, fast: bool, smoke: bool, jobs: int) -> dict:
+    """Host/run metadata shared by every figure payload of one run.
+
+    Everything here is allowed to differ between two otherwise identical
+    runs; nothing outside ``meta`` is.
+    """
+    return {
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "git_sha": git_sha(),
+        "code_version": code_version(),
+        "seed": DEFAULT_SEED,
+        "fast": fast,
+        "smoke": smoke,
+        "jobs": jobs,
+    }
+
+
+def write_runs(runs: list[FigureRun], out_dir: str | Path,
+               meta: dict) -> list[Path]:
+    """Write one ``BENCH_<figure>.json`` per run into ``out_dir``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for run in runs:
+        run_meta = dict(meta)
+        run_meta["wall_clock_s"] = round(run.wall_s, 6)
+        run_meta["cache_hits"] = run.cache_hits
+        run_meta["cache_misses"] = run.cache_misses
+        payload = bench_payload(run, run_meta)
+        path = out / f"BENCH_{run.result.figure}.json"
+        path.write_text(json.dumps(payload, indent=1) + "\n")
+        paths.append(path)
+    return paths
+
+
+def render_runs_text(runs: list[FigureRun]) -> str:
+    """The classic text report for a set of runs, one table per figure."""
+    return "\n\n".join(render_figure(run.result) for run in runs)
+
+
+# ---------------------------------------------------------------------------
+# bench diff
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SeriesDiff:
+    """Comparison of one series between a baseline and a new result set."""
+
+    figure: str
+    series: str
+    direction: str          # "lower" | "higher" (better)
+    base_mean: float
+    new_mean: float
+    mean_pct: float         # pct change of the mean, signed
+    worst_point_pct: float  # largest per-point change in the bad direction
+    regression: bool
+
+
+def load_payload(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def diff_payloads(base: dict, new: dict,
+                  threshold_pct: float = 5.0) -> list[SeriesDiff]:
+    """Direction-aware comparison of two BENCH payloads for one figure.
+
+    Only series named in the baseline's ``directions`` map are judged
+    (the rest are raw data with no better/worse ordering).  A series
+    regresses when the mean over aligned points moves beyond
+    ``threshold_pct`` in its bad direction.
+    """
+    out: list[SeriesDiff] = []
+    directions = base.get("directions", {})
+    figure = base.get("figure", "?")
+    for name, direction in directions.items():
+        b = base.get("series", {}).get(name)
+        n = new.get("series", {}).get(name)
+        if not b or not n:
+            continue
+        m = min(len(b), len(n))
+        b, n = b[:m], n[:m]
+        base_mean = sum(b) / m
+        new_mean = sum(n) / m
+        mean_pct = pct_diff(new_mean, base_mean)
+        point_pcts = [pct_diff(nv, bv) for nv, bv in zip(n, b) if bv]
+        if direction == "lower":
+            worst = max(point_pcts, default=0.0)
+            regression = mean_pct > threshold_pct
+        else:
+            worst = min(point_pcts, default=0.0)
+            regression = mean_pct < -threshold_pct
+        out.append(SeriesDiff(figure=figure, series=name,
+                              direction=direction, base_mean=base_mean,
+                              new_mean=new_mean, mean_pct=mean_pct,
+                              worst_point_pct=worst,
+                              regression=regression))
+    return out
+
+
+def diff_paths(base: str | Path, new: str | Path,
+               threshold_pct: float = 5.0
+               ) -> tuple[list[SeriesDiff], list[str]]:
+    """Diff two BENCH files, or two directories of BENCH_*.json files.
+
+    Returns (series diffs, notes about unmatched figures).
+    """
+    base, new = Path(base), Path(new)
+    notes: list[str] = []
+    if base.is_dir() or new.is_dir():
+        base_files = {p.name: p for p in sorted(base.glob("BENCH_*.json"))}
+        new_files = {p.name: p for p in sorted(new.glob("BENCH_*.json"))}
+        diffs: list[SeriesDiff] = []
+        for name in base_files:
+            if name not in new_files:
+                notes.append(f"{name}: only in baseline")
+                continue
+            diffs.extend(diff_payloads(load_payload(base_files[name]),
+                                       load_payload(new_files[name]),
+                                       threshold_pct))
+        for name in new_files:
+            if name not in base_files:
+                notes.append(f"{name}: only in new result set")
+        return diffs, notes
+    return diff_payloads(load_payload(base), load_payload(new),
+                         threshold_pct), notes

@@ -1,8 +1,13 @@
-"""Plain-text rendering of figure results (the harness's 'plots')."""
+"""Rendering of figure results: plain-text tables (the harness's
+'plots'), the machine-readable ``BENCH_<figure>.json`` payload, and the
+``bench diff`` report.  The JSON schema is documented field by field in
+docs/BENCHMARKS.md."""
 
 from __future__ import annotations
 
 from .figures import FigureResult
+from .resultstore import SCHEMA_VERSION, config_fingerprint
+from .stats import series_summary
 
 
 def _fmt(value) -> str:
@@ -36,3 +41,64 @@ def render_figure(result: FigureResult) -> str:
 def print_figure(result: FigureResult) -> None:
     print()
     print(render_figure(result))
+
+
+def bench_payload(run, meta: dict) -> dict:
+    """The BENCH_<figure>.json document for one orchestrator FigureRun.
+
+    Everything host- or time-dependent goes under ``meta``; the rest is a
+    pure function of (figure, sweep params, configs, code), which is what
+    the determinism test asserts.
+    """
+    fr = run.result
+    points = []
+    for rec in run.points:
+        points.append({
+            "params": rec.params,
+            "cached": rec.cached,
+            "x": rec.row["x"],
+            "values": {k: v for k, v in rec.row.items()
+                       if k != "x" and not k.startswith("_")},
+            "counters": dict(sorted(rec.row.get("_counters", {}).items())),
+        })
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "figure": fr.figure,
+        "title": fr.title,
+        "x_label": fr.x_label,
+        "meta": meta,
+        "config": config_fingerprint(),
+        "points": points,
+        "x": fr.x,
+        "series": fr.series,
+        "summary": {k: series_summary(v) for k, v in fr.series.items()},
+        "metrics": fr.metrics,
+        "counters": fr.counters,
+        "directions": dict(run.spec.directions),
+        "notes": fr.notes,
+    }
+
+
+def render_diff(diffs, notes=(), threshold_pct: float = 5.0) -> str:
+    """Aligned table of SeriesDiff records plus unmatched-figure notes."""
+    lines = [f"== bench diff (noise threshold {threshold_pct:g}%) =="]
+    if not diffs and not notes:
+        return lines[0] + "\nnothing comparable"
+    rows = [["figure", "series", "better", "base", "new", "mean %",
+             "worst pt %", ""]]
+    for d in diffs:
+        rows.append([d.figure, d.series, d.direction, _fmt(d.base_mean),
+                     _fmt(d.new_mean), f"{d.mean_pct:+.2f}",
+                     f"{d.worst_point_pct:+.2f}",
+                     "REGRESSION" if d.regression else "ok"])
+    widths = [max(len(str(r[i])) for r in rows) for i in range(len(rows[0]))]
+    header, *body = rows
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    for note in notes:
+        lines.append(f"note: {note}")
+    bad = sum(1 for d in diffs if d.regression)
+    lines.append(f"{len(diffs)} series compared, {bad} regression(s)")
+    return "\n".join(lines)

@@ -1,8 +1,15 @@
 """Benchmark shapes (§VI-A): ping-pong and injection rate, AM and UCX-put.
 
-Each driver takes a freshly built :class:`~repro.core.stdworld.World`
-(per-point worlds keep cache state independent across sweep points, like
-separate perftest invocations) and returns a structured outcome.
+Every measurement in this repo bottoms out here: a *shape* runs one
+benchmark pattern (active-message ping-pong, active-message injection
+rate, or their plain UCX-put controls) on the simulated testbed and
+returns a structured outcome (:class:`PingPongOutcome` /
+:class:`RateOutcome`) with per-iteration latencies, rates, wire sizes,
+and server cycle counts.  Each driver takes a freshly built
+:class:`~repro.core.stdworld.World` — per-point worlds keep cache state
+independent across sweep points, like separate perftest invocations.
+The registered sweep points in :mod:`repro.bench.figures` and
+:mod:`repro.bench.ablations` (and ``twochains perf``) are the consumers.
 """
 
 from __future__ import annotations

@@ -44,3 +44,17 @@ def pct_diff(value: float, baseline: float) -> float:
     if baseline == 0:
         return float("inf")
     return 100.0 * (value - baseline) / baseline
+
+
+def series_summary(values: Iterable[float]) -> dict:
+    """Summary stats for one series of a BENCH_*.json payload."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return {"n": 0}
+    return {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50.0)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }

@@ -14,11 +14,21 @@ Subcommands mirror the toolchain a user of the real system would have:
       twochains perf pingpong --jam jam_indirect_put --size 256
       twochains perf rate --jam jam_ss_sum --size 4096 --local
 * ``twochains figures [fig5 ...]`` — regenerate paper figures.
+* ``twochains bench run|diff|list`` — the parallel benchmark
+  orchestrator: run every registered sweep across a process pool with
+  on-disk point caching, emit ``BENCH_<figure>.json`` result files, and
+  compare two result sets for regressions (see docs/BENCHMARKS.md)::
+
+      twochains bench run --jobs 4
+      twochains bench run fig9 fig10 --full --out results/bench
+      twochains bench run --smoke            # one point per figure (CI)
+      twochains bench diff results/old results/bench --threshold 5
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .core.install import (
@@ -139,6 +149,64 @@ def _cmd_figures(args) -> int:
     return 0
 
 
+def _cmd_bench_run(args) -> int:
+    from .bench.orchestrator import (
+        build_meta,
+        render_runs_text,
+        resolve_names,
+        run_figures,
+        write_runs,
+    )
+    from .bench.resultstore import ResultStore
+
+    try:
+        names = resolve_names(args.figures or None)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    store = None
+    if not args.no_cache:
+        cache_dir = args.cache or f"{args.out}/.cache"
+        store = ResultStore(cache_dir)
+    fast = not args.full
+    runs = run_figures(names, fast=fast, smoke=args.smoke, jobs=args.jobs,
+                       store=store,
+                       log=None if args.quiet else
+                       (lambda m: print(m, file=sys.stderr)))
+    meta = build_meta(fast=fast, smoke=args.smoke, jobs=args.jobs)
+    paths = write_runs(runs, args.out, meta)
+    if not args.quiet:
+        print(render_runs_text(runs))
+        print()
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    from .bench.orchestrator import diff_paths
+    from .bench.report import render_diff
+
+    try:
+        diffs, notes = diff_paths(args.base, args.new,
+                                  threshold_pct=args.threshold)
+    except (OSError, ValueError) as exc:
+        print(f"cannot diff: {exc}", file=sys.stderr)
+        return 2
+    print(render_diff(diffs, notes, threshold_pct=args.threshold))
+    return 1 if any(d.regression for d in diffs) else 0
+
+
+def _cmd_bench_list(args) -> int:
+    from .bench.figures import full_registry
+
+    for name, spec in full_registry().items():
+        npts = len(spec.points(True)), len(spec.points(False))
+        print(f"{name:12s} {spec.title}  [{npts[0]} fast / "
+              f"{npts[1]} full points]")
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="twochains",
@@ -193,6 +261,43 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--full", action="store_true",
                    help="full sweep axes (slower)")
     p.set_defaults(fn=_cmd_figures)
+
+    p = sub.add_parser("bench", help="parallel benchmark orchestrator "
+                                     "(run / diff / list)")
+    bsub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bsub.add_parser("run", help="run figure sweeps in parallel, "
+                                    "write BENCH_<figure>.json files")
+    b.add_argument("figures", nargs="*", metavar="figN",
+                   help="registered sweeps (default: all; "
+                        "see 'bench list')")
+    b.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
+                   help="worker processes (default: all cores)")
+    b.add_argument("--full", action="store_true",
+                   help="full sweep axes (slower)")
+    b.add_argument("--smoke", action="store_true",
+                   help="one point per figure (CI smoke target)")
+    b.add_argument("--out", default="results/bench",
+                   help="output directory (default results/bench)")
+    b.add_argument("--cache", default=None,
+                   help="point-cache directory (default <out>/.cache)")
+    b.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not populate the point cache")
+    b.add_argument("--quiet", action="store_true",
+                   help="suppress progress and text tables")
+    b.set_defaults(fn=_cmd_bench_run)
+
+    b = bsub.add_parser("diff", help="compare two result sets, flag "
+                                     "regressions beyond a noise "
+                                     "threshold")
+    b.add_argument("base", help="baseline BENCH_*.json file or directory")
+    b.add_argument("new", help="new BENCH_*.json file or directory")
+    b.add_argument("--threshold", type=float, default=5.0,
+                   help="noise threshold in percent (default 5)")
+    b.set_defaults(fn=_cmd_bench_diff)
+
+    b = bsub.add_parser("list", help="list registered sweeps")
+    b.set_defaults(fn=_cmd_bench_list)
     return parser
 
 

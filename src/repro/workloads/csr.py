@@ -1,9 +1,14 @@
 """CSR graph helpers for the analytics workloads.
 
-The motivating applications (§I) operate on large shared graphs.  These
-helpers flatten a networkx graph to CSR arrays and load them into a
-server-side ried's exported symbols, which is how the examples and tests
-place "the data" on the node that receives injected analysis functions.
+The motivating applications (§I) operate on large shared graphs.
+:func:`build_csr` flattens a graph (anything with ``number_of_nodes()``
+and ``neighbors()``, e.g. a networkx graph — networkx itself is
+optional) into compressed-sparse-row ``(xadj, adj)`` int64 arrays, and
+:func:`load_csr` writes those arrays into a server-side ried's exported
+symbols.  That is how the examples and tests place "the data" on the
+node that receives injected analysis functions: the graph lives in the
+receiver's address space, and arriving jams walk it through the
+ried-donated GOT.
 """
 
 from __future__ import annotations
