@@ -15,13 +15,24 @@ class CompileResult:
     assembly: str
 
 
+_COMPILE_CACHE: dict[str, CompileResult] = {}
+
+
 def compile_amc(source: str) -> CompileResult:
     """Compile AMC source to a CHAIN object module.
 
     Pipeline: lex/parse -> codegen to assembly text -> assemble.  The
     intermediate assembly is returned too — the Two-Chains build tool keeps
     it as the listing artifact, and tests assert on it.
+
+    Compilation is deterministic and benchmark sweeps rebuild the same
+    few sources at every point, so results are memoized by source text
+    (consumers treat CompileResult as read-only, like ``assemble``'s).
     """
-    program = parse(source)
-    assembly = generate_assembly(program)
-    return CompileResult(module=assemble(assembly), assembly=assembly)
+    res = _COMPILE_CACHE.get(source)
+    if res is None:
+        program = parse(source)
+        assembly = generate_assembly(program)
+        res = _COMPILE_CACHE[source] = CompileResult(
+            module=assemble(assembly), assembly=assembly)
+    return res

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
 
+from ..perf import COUNTERS, throughput
 from ..sim.rng import DEFAULT_SEED
 from .figures import FigureResult, FigureSpec, assemble, full_registry
 from .report import bench_payload, render_figure
@@ -46,6 +47,9 @@ class PointRecord:
     cached: bool
     key: str | None
     elapsed_s: float = 0.0
+    # SimCounters delta for the point's execution (None for cache hits,
+    # which did no simulation work this run).
+    sim: dict | None = None
 
 
 @dataclass
@@ -58,6 +62,16 @@ class FigureRun:
     wall_s: float
     cache_hits: int = 0
     cache_misses: int = 0
+
+    @property
+    def sim_counters(self) -> dict:
+        """Summed SimCounters deltas over the points actually executed."""
+        total: dict = {}
+        for rec in self.points:
+            if rec.sim:
+                for k, v in rec.sim.items():
+                    total[k] = total.get(k, 0) + v
+        return total
 
 
 def resolve_names(names: list[str] | None) -> list[str]:
@@ -73,13 +87,20 @@ def resolve_names(names: list[str] | None) -> list[str]:
     return list(names)
 
 
-def _exec_point(task: tuple[str, dict]) -> tuple[dict, float]:
-    """Pool worker: run one sweep point, return (row, elapsed seconds)."""
+def _exec_point(task: tuple[str, dict]) -> tuple[dict, float, dict]:
+    """Pool worker: run one sweep point.
+
+    Returns (row, elapsed seconds, SimCounters delta).  Counters are
+    process-wide, so the delta — not the absolute value — is what ships
+    back from pool workers; the parent sums deltas per figure.
+    """
     name, params = task
     spec = full_registry()[name]
+    before = COUNTERS.snapshot()
     t0 = time.perf_counter()
     row = spec.point(**params)
-    return row, time.perf_counter() - t0
+    elapsed = time.perf_counter() - t0
+    return row, elapsed, COUNTERS.delta(before)
 
 
 def run_figures(names: list[str] | None = None, *, fast: bool = True,
@@ -127,13 +148,13 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
                 outs = pool.map(_exec_point, tasks, chunksize=1)
         else:
             outs = [_exec_point(t) for t in tasks]
-        for (name, i), (row, elapsed) in zip(pending, outs):
+        for (name, i), (row, elapsed, sim) in zip(pending, outs):
             params = plan_by_name[name][i]
             key = store.key_for(name, params) if store else None
             if store:
                 store.put(key, name, params, row)
             records[name][i] = PointRecord(params, row, False, key,
-                                           elapsed_s=elapsed)
+                                           elapsed_s=elapsed, sim=sim)
 
     runs: list[FigureRun] = []
     for name, points in plans:
@@ -187,6 +208,10 @@ def write_runs(runs: list[FigureRun], out_dir: str | Path,
         run_meta["wall_clock_s"] = round(run.wall_s, 6)
         run_meta["cache_hits"] = run.cache_hits
         run_meta["cache_misses"] = run.cache_misses
+        # Simulator throughput for the points actually executed (empty
+        # when everything came from cache).  Lives in meta: it tracks
+        # the simulator's own speed, not the simulated system's.
+        run_meta["sim_throughput"] = throughput(run.sim_counters, run.wall_s)
         payload = bench_payload(run, run_meta)
         path = out / f"BENCH_{run.result.figure}.json"
         path.write_text(json.dumps(payload, indent=1) + "\n")
@@ -258,15 +283,57 @@ def diff_payloads(base: dict, new: dict,
     return out
 
 
+def wall_clock_diff_payloads(base: dict, new: dict,
+                             threshold_pct: float = 20.0
+                             ) -> tuple[list[SeriesDiff], list[str]]:
+    """Compare simulator *throughput* (not simulated results) of two runs.
+
+    Judges ``meta.sim_throughput.sim_ns_per_wall_s`` — simulated
+    nanoseconds produced per wall-clock second, direction "higher is
+    better".  A drop beyond ``threshold_pct`` flags a host-performance
+    regression of the simulator itself.  Payloads whose runs were fully
+    cached (or that predate the field) carry no throughput and are
+    skipped with a note.
+    """
+    figure = base.get("figure", "?")
+    notes: list[str] = []
+    bv = base.get("meta", {}).get("sim_throughput", {}).get("sim_ns_per_wall_s")
+    nv = new.get("meta", {}).get("sim_throughput", {}).get("sim_ns_per_wall_s")
+    if not bv:
+        notes.append(f"{figure}: baseline has no sim_throughput (cached or "
+                     "pre-schema run); skipped")
+        return [], notes
+    if not nv:
+        notes.append(f"{figure}: new result has no sim_throughput (cached "
+                     "run?); skipped")
+        return [], notes
+    mean_pct = pct_diff(nv, bv)
+    return [SeriesDiff(figure=figure, series="sim_ns_per_wall_s",
+                       direction="higher", base_mean=bv, new_mean=nv,
+                       mean_pct=mean_pct, worst_point_pct=mean_pct,
+                       regression=mean_pct < -threshold_pct)], notes
+
+
 def diff_paths(base: str | Path, new: str | Path,
-               threshold_pct: float = 5.0
+               threshold_pct: float = 5.0, *,
+               wall_clock: bool = False
                ) -> tuple[list[SeriesDiff], list[str]]:
     """Diff two BENCH files, or two directories of BENCH_*.json files.
 
+    ``wall_clock=True`` compares simulator throughput metadata instead
+    of simulated series (see :func:`wall_clock_diff_payloads`).
     Returns (series diffs, notes about unmatched figures).
     """
     base, new = Path(base), Path(new)
     notes: list[str] = []
+
+    def one(bp: dict, np_: dict) -> list[SeriesDiff]:
+        if wall_clock:
+            diffs, wc_notes = wall_clock_diff_payloads(bp, np_, threshold_pct)
+            notes.extend(wc_notes)
+            return diffs
+        return diff_payloads(bp, np_, threshold_pct)
+
     if base.is_dir() or new.is_dir():
         base_files = {p.name: p for p in sorted(base.glob("BENCH_*.json"))}
         new_files = {p.name: p for p in sorted(new.glob("BENCH_*.json"))}
@@ -275,12 +342,10 @@ def diff_paths(base: str | Path, new: str | Path,
             if name not in new_files:
                 notes.append(f"{name}: only in baseline")
                 continue
-            diffs.extend(diff_payloads(load_payload(base_files[name]),
-                                       load_payload(new_files[name]),
-                                       threshold_pct))
+            diffs.extend(one(load_payload(base_files[name]),
+                             load_payload(new_files[name])))
         for name in new_files:
             if name not in base_files:
                 notes.append(f"{name}: only in new result set")
         return diffs, notes
-    return diff_payloads(load_payload(base), load_payload(new),
-                         threshold_pct), notes
+    return one(load_payload(base), load_payload(new)), notes

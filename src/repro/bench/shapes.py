@@ -14,14 +14,13 @@ The registered sweep points in :mod:`repro.bench.figures` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.runtime import PreparedJam, connect_runtimes
 from ..core.stdworld import World
 from ..errors import ReproError
 from ..machine.noise import StressConfig, StressWorkload
 from ..machine.pages import PROT_RW
-from ..rdma.mr import Access
 from ..sim.engine import Delay
 from .calibration import MEASURE_ITERS, WARMUP_ITERS
 from .stats import LatencyStats, summarize

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from ..core.config import RuntimeConfig, WaitMode
 from ..core.runtime import PreparedJam, connect_runtimes
-from ..core.stdworld import World, make_world
+from ..core.stdworld import make_world
 from ..machine.hierarchy import HierarchyConfig
 from ..machine.pages import PROT_RW
 

@@ -23,6 +23,13 @@ Subcommands mirror the toolchain a user of the real system would have:
       twochains bench run fig9 fig10 --full --out results/bench
       twochains bench run --smoke            # one point per figure (CI)
       twochains bench diff results/old results/bench --threshold 5
+      twochains bench diff results/old results/bench --wall-clock
+* ``twochains profile [figN ...]`` — cProfile the benchmark sweeps and
+  report simulator throughput (instructions/s, sim-ns per wall-second),
+  per-subsystem time, and function hotspots::
+
+      twochains profile fig8 --top 20
+      twochains profile --quick --json prof.json   # CI smoke
 """
 
 from __future__ import annotations
@@ -187,14 +194,38 @@ def _cmd_bench_diff(args) -> int:
     from .bench.orchestrator import diff_paths
     from .bench.report import render_diff
 
+    threshold = args.threshold
+    if threshold is None:
+        threshold = 20.0 if args.wall_clock else 5.0
     try:
         diffs, notes = diff_paths(args.base, args.new,
-                                  threshold_pct=args.threshold)
+                                  threshold_pct=threshold,
+                                  wall_clock=args.wall_clock)
     except (OSError, ValueError) as exc:
         print(f"cannot diff: {exc}", file=sys.stderr)
         return 2
-    print(render_diff(diffs, notes, threshold_pct=args.threshold))
+    print(render_diff(diffs, notes, threshold_pct=threshold))
     return 1 if any(d.regression for d in diffs) else 0
+
+
+def _cmd_profile(args) -> int:
+    import json as _json
+
+    from .bench.profile import profile_figures, render_profile_text
+
+    try:
+        report = profile_figures(args.figures or None, fast=not args.full,
+                                 smoke=args.quick, top=args.top)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(render_profile_text(report))
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(report, fh, indent=1)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0
 
 
 def _cmd_bench_list(args) -> int:
@@ -292,12 +323,32 @@ def make_parser() -> argparse.ArgumentParser:
                                      "threshold")
     b.add_argument("base", help="baseline BENCH_*.json file or directory")
     b.add_argument("new", help="new BENCH_*.json file or directory")
-    b.add_argument("--threshold", type=float, default=5.0,
-                   help="noise threshold in percent (default 5)")
+    b.add_argument("--threshold", type=float, default=None,
+                   help="noise threshold in percent (default 5, "
+                        "or 20 with --wall-clock)")
+    b.add_argument("--wall-clock", action="store_true",
+                   help="compare simulator throughput "
+                        "(meta.sim_throughput) instead of simulated "
+                        "series — flags host-perf regressions")
     b.set_defaults(fn=_cmd_bench_diff)
 
     b = bsub.add_parser("list", help="list registered sweeps")
     b.set_defaults(fn=_cmd_bench_list)
+
+    p = sub.add_parser("profile",
+                       help="cProfile figure sweeps; report simulator "
+                            "throughput, per-subsystem time, hotspots")
+    p.add_argument("figures", nargs="*", metavar="figN",
+                   help="registered sweeps (default: all)")
+    p.add_argument("--quick", action="store_true",
+                   help="one point per figure (CI smoke target)")
+    p.add_argument("--full", action="store_true",
+                   help="full sweep axes (slower)")
+    p.add_argument("--top", type=int, default=12,
+                   help="hotspot count (default 12)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the report as JSON")
+    p.set_defaults(fn=_cmd_profile)
     return parser
 
 

@@ -24,7 +24,7 @@ from ..machine.pages import PROT_RW, PROT_RWX, PROT_RX
 from ..rdma.mr import Access
 from ..sim.clock import CPU_CLOCK
 from ..sim.engine import Delay
-from .config import RuntimeConfig, WaitMode
+from .config import WaitMode
 from .message import HDR_SIZE, FrameView, unpack_header
 
 _MPROTECT_NS = 620.0  # per-message mprotect pair in split-code-page mode

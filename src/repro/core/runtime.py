@@ -11,8 +11,7 @@ receiver's per-element GOT addresses, and the bank flow-control flags.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from ..errors import MailboxError, PackageError, TwoChainsError
 from ..isa.intrinsics import IntrinsicTable
@@ -25,7 +24,7 @@ from ..rdma.mr import Access
 from ..rdma.verbs import Hca, QueuePair
 from ..sim.engine import Delay, Engine
 from ..ucp.worker import UcpConfig, UcpWorker
-from .config import RuntimeConfig, WaitMode
+from .config import RuntimeConfig
 from .mailbox import Mailbox, MailboxInfo, Waiter
 from .message import (
     F_GOTP_SENDER,

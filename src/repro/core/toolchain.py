@@ -15,7 +15,7 @@ install (header + shared libraries).
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..amc import compile_amc
 from ..elf import build_shared_object

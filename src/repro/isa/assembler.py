@@ -492,6 +492,18 @@ class Assembler:
         raise AssemblerError(f"unknown mnemonic {op!r}", lineno)
 
 
+_ASSEMBLE_CACHE: dict[str, ObjectModule] = {}
+
+
 def assemble(source: str) -> ObjectModule:
-    """Assemble CHAIN assembly text into an object module."""
-    return Assembler().assemble(source)
+    """Assemble CHAIN assembly text into an object module.
+
+    Output is memoized by source text: assembly is deterministic, and
+    benchmark sweeps assemble the same few programs at every point.
+    Consumers treat the module as read-only (the linker copies ``text``
+    into its own buffer), so the cached instance is shared as-is.
+    """
+    mod = _ASSEMBLE_CACHE.get(source)
+    if mod is None:
+        mod = _ASSEMBLE_CACHE[source] = Assembler().assemble(source)
+    return mod

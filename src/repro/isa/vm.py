@@ -14,16 +14,35 @@ runtime layer, which models them against the engine.
 Cost model: the testbed CPU is a 2.6 GHz out-of-order superscalar; we charge
 a flat ~0.5 cycles/instruction (IPC 2) which covers L1-hit loads, plus the
 hierarchy latency beyond L1 for memory operations, plus intrinsic costs.
+
+Interpreter engine
+------------------
+
+The hot loop runs *predecoded* code.  Each executable 64-byte line is
+decoded once into 8 slot executors — closures specialized by an
+opcode-indexed dispatch table (:data:`_COMPILERS`, one compiler per
+opcode byte) with the operand fields, next-pc, branch targets, and
+PC-relative GOT addresses bound in at decode time — and cached in
+``PhysicalMemory.code_lines``, shared by every VM on the node.  The
+memory layer drops overlapping entries on any write (local stores, GOT
+rewrites, DMA into mailbox pages), so self-modifying code re-decodes
+exactly like a real I-side refetch; the timing model is unchanged either
+way because instruction-fetch latency is charged per line transition,
+not per decode.  Per step the loop does a step-limit check, a line
+transition check, one dict lookup, and one call — no struct unpacking
+and no 40-arm opcode ladder.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
-from ..errors import MemoryFault, VmFault
+from ..errors import VmFault
 from ..machine.node import Node
+from ..perf import COUNTERS as _C
 from .encoding import decode_fields
-from .opcodes import MEM_SIZE, Op
+from .opcodes import Op
 from .registers import LR, NREGS, SP, ZR
 
 MASK64 = (1 << 64) - 1
@@ -39,6 +58,10 @@ RETURN_SENTINEL = 0x7FFF_FF00
 CPI_NS = 0.5 / 2.6
 
 DEFAULT_STACK_BYTES = 64 * 1024
+
+# One 64-byte code line = 8 instruction words, unpacked in a single call
+# (field layout matches encoding._WORD).
+_LINE_WORDS = struct.Struct("<" + "BBBBi" * 8)
 
 
 def _sx(value: int) -> int:
@@ -57,6 +80,477 @@ class CallResult:
     steps: int        # instructions retired (intrinsics count as one)
 
 
+# ---------------------------------------------------------------------------
+# Opcode-indexed dispatch table of per-instruction compilers.
+#
+# ``_COMPILERS[opcode_byte]`` maps a decoded instruction to a slot
+# executor ``fn(vm, regs, ebox, now) -> next_pc``: ``regs`` is the
+# per-call register file, ``ebox`` a one-element list holding the
+# accumulated elapsed-ns (handlers add any latency beyond the flat CPI
+# charge), ``now`` the call's DES start time.  Executors are compiled
+# per (node, line) and shared by every VM on the node, so node-level
+# objects (mem/hier/pages) are bound at compile time while per-VM state
+# (core, page checking, intrinsics) is read off the ``vm`` argument.
+# Unknown opcode bytes compile to a raiser — lines are decoded whole, so
+# data slots sharing a line with code must not fault until executed.
+# ---------------------------------------------------------------------------
+
+def _c_illegal(cc, op, rd, rs1, rs2, imm, pc):
+    def f(vm, regs, ebox, now):
+        raise VmFault(f"illegal opcode {op:#x}", pc=pc)
+    return f
+
+
+def _c_nop(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+    return lambda vm, regs, ebox, now: nxt
+
+
+def _c_halt(cc, op, rd, rs1, rs2, imm, pc):
+    return lambda vm, regs, ebox, now: RETURN_SENTINEL
+
+
+def _c_wfe(cc, op, rd, rs1, rs2, imm, pc):
+    def f(vm, regs, ebox, now):
+        raise VmFault(
+            "WFE executed in synchronous VM context (runtime-only op)",
+            pc=pc)
+    return f
+
+
+def _c_sev(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+    node = cc.node
+
+    def f(vm, regs, ebox, now):
+        node.notify_write(regs[rs1], 8)
+        return nxt
+    return f
+
+
+def _c_movi(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+    if rd == ZR:
+        return lambda vm, regs, ebox, now: nxt
+    val = imm & MASK64
+
+    def f(vm, regs, ebox, now):
+        regs[rd] = val
+        return nxt
+    return f
+
+
+def _c_movhi(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+    if rd == ZR:
+        return lambda vm, regs, ebox, now: nxt
+    hi = (imm & 0xFFFFFFFF) << 32
+
+    def f(vm, regs, ebox, now):
+        regs[rd] = (regs[rd] & 0xFFFFFFFF) | hi
+        return nxt
+    return f
+
+
+def _c_mov(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+    if rd == ZR:
+        return lambda vm, regs, ebox, now: nxt
+
+    def f(vm, regs, ebox, now):
+        regs[rd] = regs[rs1]
+        return nxt
+    return f
+
+
+def _c_adr(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+    if rd == ZR:
+        return lambda vm, regs, ebox, now: nxt
+    val = (pc + imm) & MASK64
+
+    def f(vm, regs, ebox, now):
+        regs[rd] = val
+        return nxt
+    return f
+
+
+# -- register arithmetic ----------------------------------------------------
+
+def _rr(value_fn):
+    """Compiler for a pure two-register ALU op; ``value_fn(a, b)`` must
+    return the masked 64-bit result."""
+    def compiler(cc, op, rd, rs1, rs2, imm, pc):
+        nxt = pc + 8
+        if rd == ZR:  # pure op: no side effects to preserve
+            return lambda vm, regs, ebox, now: nxt
+
+        def f(vm, regs, ebox, now):
+            regs[rd] = value_fn(regs[rs1], regs[rs2])
+            return nxt
+        return f
+    return compiler
+
+
+def _c_div(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+
+    def f(vm, regs, ebox, now):
+        sa, sb = _sx(regs[rs1]), _sx(regs[rs2])
+        if sb == 0:
+            raise VmFault("division by zero", pc=pc)
+        q = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            q = -q
+        if rd != ZR:
+            regs[rd] = q & MASK64
+        return nxt
+    return f
+
+
+def _c_rem(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+
+    def f(vm, regs, ebox, now):
+        sa, sb = _sx(regs[rs1]), _sx(regs[rs2])
+        if sb == 0:
+            raise VmFault("division by zero", pc=pc)
+        q = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            q = -q
+        if rd != ZR:
+            regs[rd] = (sa - q * sb) & MASK64
+        return nxt
+    return f
+
+
+# -- immediate arithmetic ---------------------------------------------------
+
+def _ri(value_fn):
+    """Compiler for a pure register+immediate ALU op; ``value_fn`` is
+    called at compile time with ``imm`` and returns ``a -> result``."""
+    def compiler(cc, op, rd, rs1, rs2, imm, pc):
+        nxt = pc + 8
+        if rd == ZR:
+            return lambda vm, regs, ebox, now: nxt
+        apply_fn = value_fn(imm)
+
+        def f(vm, regs, ebox, now):
+            regs[rd] = apply_fn(regs[rs1])
+            return nxt
+        return f
+    return compiler
+
+
+def _c_addi(cc, op, rd, rs1, rs2, imm, pc):
+    # ADDI is the single hottest opcode (pointer/stack math): open-code
+    # it rather than paying the generic _ri double call.
+    nxt = pc + 8
+    if rd == ZR:
+        return lambda vm, regs, ebox, now: nxt
+
+    def f(vm, regs, ebox, now):
+        regs[rd] = (regs[rs1] + imm) & MASK64
+        return nxt
+    return f
+
+
+# -- loads ------------------------------------------------------------------
+
+def _load(size, read_fn):
+    """Compiler factory for the load family.  ``read_fn(mem, addr)``
+    returns the (masked) register value."""
+    def compiler(cc, op, rd, rs1, rs2, imm, pc):
+        nxt = pc + 8
+        mem, hier, pages, l1_lat = cc.mem, cc.hier, cc.pages, cc.l1_lat
+
+        def f(vm, regs, ebox, now):
+            addr = (regs[rs1] + imm) & MASK64
+            if vm.check_pages:
+                pages.check_read(addr, size)
+            lat = hier.access(now + ebox[0], vm.core, addr, size, "read")
+            if lat > l1_lat:
+                ebox[0] += lat - l1_lat
+            value = read_fn(mem, addr)
+            if rd != ZR:
+                regs[rd] = value
+            return nxt
+        return f
+    return compiler
+
+
+def _read_ld(mem, addr):
+    return mem.read_u64(addr)
+
+
+def _read_lw(mem, addr):
+    value = mem.read_u32(addr)
+    return (value - (1 << 32)) & MASK64 if value >= (1 << 31) else value
+
+
+def _read_lwu(mem, addr):
+    return mem.read_u32(addr)
+
+
+def _read_lh(mem, addr):
+    value = int.from_bytes(mem.read(addr, 2), "little")
+    return (value - (1 << 16)) & MASK64 if value >= (1 << 15) else value
+
+
+def _read_lhu(mem, addr):
+    return int.from_bytes(mem.read(addr, 2), "little")
+
+
+def _read_lb(mem, addr):
+    value = mem.read_u8(addr)
+    return (value - (1 << 8)) & MASK64 if value >= (1 << 7) else value
+
+
+def _read_lbu(mem, addr):
+    return mem.read_u8(addr)
+
+
+# -- stores -----------------------------------------------------------------
+
+def _store(size, write_fn):
+    """Compiler factory for the store family. ``write_fn(mem, addr, v)``."""
+    def compiler(cc, op, rd, rs1, rs2, imm, pc):
+        nxt = pc + 8
+        mem, hier, pages, l1_lat = cc.mem, cc.hier, cc.pages, cc.l1_lat
+        node = cc.node
+
+        def f(vm, regs, ebox, now):
+            addr = (regs[rs1] + imm) & MASK64
+            if vm.check_pages:
+                pages.check_write(addr, size)
+            lat = hier.access(now + ebox[0], vm.core, addr, size, "write")
+            if lat > l1_lat:
+                ebox[0] += lat - l1_lat
+            write_fn(mem, addr, regs[rd])
+            if node._watch:
+                node.notify_write(addr, size)
+            return nxt
+        return f
+    return compiler
+
+
+def _write_st(mem, addr, value):
+    mem.write_u64(addr, value)
+
+
+def _write_sw(mem, addr, value):
+    mem.write_u32(addr, value)
+
+
+def _write_sh(mem, addr, value):
+    mem.write(addr, (value & 0xFFFF).to_bytes(2, "little"))
+
+
+def _write_sb(mem, addr, value):
+    mem.write_u8(addr, value)
+
+
+# -- control flow -----------------------------------------------------------
+
+def _c_b(cc, op, rd, rs1, rs2, imm, pc):
+    tgt = pc + imm
+    return lambda vm, regs, ebox, now: tgt
+
+
+def _branch(taken_fn):
+    """Compiler for conditional branches; ``taken_fn(a, b)`` decides."""
+    def compiler(cc, op, rd, rs1, rs2, imm, pc):
+        tgt = pc + imm
+        nxt = pc + 8
+
+        def f(vm, regs, ebox, now):
+            return tgt if taken_fn(regs[rs1], regs[rs2]) else nxt
+        return f
+    return compiler
+
+
+def _c_call(cc, op, rd, rs1, rs2, imm, pc):
+    tgt = pc + imm
+    nxt = pc + 8
+
+    def f(vm, regs, ebox, now):
+        regs[LR] = nxt
+        return tgt
+    return f
+
+
+def _c_callr(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+
+    def f(vm, regs, ebox, now):
+        target = regs[rs1]
+        regs[LR] = nxt
+        if target >= NATIVE_BASE:
+            ebox[0] += vm._run_native(target, regs, now + ebox[0])
+            return regs[LR]
+        return target
+    return f
+
+
+def _c_ret(cc, op, rd, rs1, rs2, imm, pc):
+    return lambda vm, regs, ebox, now: regs[LR]
+
+
+def _c_jr(cc, op, rd, rs1, rs2, imm, pc):
+    def f(vm, regs, ebox, now):
+        target = regs[rs1]
+        if target >= NATIVE_BASE and target != RETURN_SENTINEL:
+            ebox[0] += vm._run_native(target, regs, now + ebox[0])
+            return regs[LR]
+        return target
+    return f
+
+
+# -- GOT access -------------------------------------------------------------
+
+def _c_ldg(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+    mem, hier, pages, l1_lat = cc.mem, cc.hier, cc.pages, cc.l1_lat
+    got_entry = (pc + imm + rs2 * 8) & MASK64  # PC-relative: a constant
+
+    def f(vm, regs, ebox, now):
+        if vm.check_pages:
+            pages.check_read(got_entry, 8)
+        lat = hier.access(now + ebox[0], vm.core, got_entry, 8, "read")
+        if lat > l1_lat:
+            ebox[0] += lat - l1_lat
+        if rd != ZR:
+            regs[rd] = mem.read_u64(got_entry)
+        return nxt
+    return f
+
+
+def _c_ldgi(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+    mem, hier, pages, l1_lat = cc.mem, cc.hier, cc.pages, cc.l1_lat
+    ptr_loc = (pc + imm) & MASK64  # PC-relative: a constant
+    slot_off = rs2 * 8
+
+    def f(vm, regs, ebox, now):
+        if vm.check_pages:
+            pages.check_read(ptr_loc, 8)
+        lat = hier.access(now + ebox[0], vm.core, ptr_loc, 8, "read")
+        if lat > l1_lat:
+            ebox[0] += lat - l1_lat
+        got_entry = (mem.read_u64(ptr_loc) + slot_off) & MASK64
+        if vm.check_pages:
+            pages.check_read(got_entry, 8)
+        lat = hier.access(now + ebox[0], vm.core, got_entry, 8, "read")
+        if lat > l1_lat:
+            ebox[0] += lat - l1_lat
+        if rd != ZR:
+            regs[rd] = mem.read_u64(got_entry)
+        return nxt
+    return f
+
+
+_COMPILERS: list = [_c_illegal] * 256
+for _op, _compiler in {
+    Op.NOP: _c_nop, Op.HALT: _c_halt, Op.WFE: _c_wfe, Op.SEV: _c_sev,
+    Op.MOVI: _c_movi, Op.MOVHI: _c_movhi, Op.MOV: _c_mov, Op.ADR: _c_adr,
+    Op.ADD: _rr(lambda a, b: (a + b) & MASK64),
+    Op.SUB: _rr(lambda a, b: (a - b) & MASK64),
+    Op.MUL: _rr(lambda a, b: (a * b) & MASK64),
+    Op.DIV: _c_div, Op.REM: _c_rem,
+    Op.AND: _rr(lambda a, b: a & b),
+    Op.OR: _rr(lambda a, b: a | b),
+    Op.XOR: _rr(lambda a, b: a ^ b),
+    Op.SHL: _rr(lambda a, b: (a << (b & 63)) & MASK64),
+    Op.SHR: _rr(lambda a, b: a >> (b & 63)),
+    Op.SAR: _rr(lambda a, b: (_sx(a) >> (b & 63)) & MASK64),
+    Op.SLT: _rr(lambda a, b: 1 if _sx(a) < _sx(b) else 0),
+    Op.SLTU: _rr(lambda a, b: 1 if a < b else 0),
+    Op.ADDI: _c_addi,
+    Op.MULI: _ri(lambda imm: lambda a: (a * imm) & MASK64),
+    Op.ANDI: _ri(lambda imm: lambda a, _u=imm & MASK64: a & _u),
+    Op.ORI: _ri(lambda imm: lambda a, _u=imm & MASK64: a | _u),
+    Op.XORI: _ri(lambda imm: lambda a, _u=imm & MASK64: a ^ _u),
+    Op.SHLI: _ri(lambda imm: lambda a, _s=imm & 63: (a << _s) & MASK64),
+    Op.SHRI: _ri(lambda imm: lambda a, _s=imm & 63: a >> _s),
+    Op.SARI: _ri(lambda imm: lambda a, _s=imm & 63: (_sx(a) >> _s) & MASK64),
+    Op.SLTI: _ri(lambda imm: lambda a: 1 if _sx(a) < imm else 0),
+    Op.LD: _load(8, _read_ld), Op.LW: _load(4, _read_lw),
+    Op.LWU: _load(4, _read_lwu), Op.LH: _load(2, _read_lh),
+    Op.LHU: _load(2, _read_lhu), Op.LB: _load(1, _read_lb),
+    Op.LBU: _load(1, _read_lbu),
+    Op.ST: _store(8, _write_st), Op.SW: _store(4, _write_sw),
+    Op.SH: _store(2, _write_sh), Op.SB: _store(1, _write_sb),
+    Op.B: _c_b,
+    Op.BEQ: _branch(lambda a, b: a == b),
+    Op.BNE: _branch(lambda a, b: a != b),
+    Op.BLT: _branch(lambda a, b: _sx(a) < _sx(b)),
+    Op.BGE: _branch(lambda a, b: _sx(a) >= _sx(b)),
+    Op.BLTU: _branch(lambda a, b: a < b),
+    Op.BGEU: _branch(lambda a, b: a >= b),
+    Op.CALL: _c_call, Op.CALLR: _c_callr, Op.RET: _c_ret, Op.JR: _c_jr,
+    Op.LDG: _c_ldg, Op.LDGI: _c_ldgi,
+}.items():
+    _COMPILERS[int(_op)] = _compiler
+
+
+class NodeCodeCache:
+    """Per-node predecoded-code compiler, shared by every VM on the node.
+
+    Compiled lines live in ``node.mem.code_lines`` so the memory layer
+    can invalidate them on overlapping writes (the VM never has to check
+    staleness itself: the hot loop re-reads the dict every step, so a
+    dropped entry forces a re-decode on the very next instruction).
+    """
+
+    __slots__ = ("node", "mem", "hier", "pages", "l1_lat", "_decoded")
+
+    def __init__(self, node: Node):
+        self.node = node
+        self.mem = node.mem
+        self.hier = node.hier
+        self.pages = node.pages
+        self.l1_lat = node.hier.cfg.l1_lat
+        # (line, raw bytes) -> compiled slots.  Message delivery rewrites
+        # mailbox lines with *identical* bytes on every send of the same
+        # function; the invalidation contract still drops the
+        # ``code_lines`` entry, but recompiling is pure waste — closures
+        # depend only on the line's bytes and its address.  Entries
+        # accumulate per (line, content) pair; nodes live for one sweep
+        # point, so this stays small.
+        self._decoded: dict = {}
+
+    def compile_line(self, line: int) -> tuple:
+        """Decode + compile all 8 slots of a 64-byte line, cache, return.
+
+        Memory is a whole number of lines, so a line containing any
+        in-bounds pc is fully in bounds; the whole line unpacks in one
+        struct call.  Mailbox-delivered code is re-compiled every time a
+        new message lands on its lines, so this path is warm, not cold.
+        """
+        mem = self.mem
+        base = line << 6
+        raw = bytes(mem._mv[base:base + 64])
+        key = (line, raw)
+        slots = self._decoded.get(key)
+        if slots is None:
+            f = _LINE_WORDS.unpack(raw)
+            compilers = _COMPILERS
+            out = []
+            pc = base
+            for i in range(0, 40, 5):
+                out.append(compilers[f[i]](
+                    self, f[i], f[i + 1], f[i + 2], f[i + 3], f[i + 4], pc))
+                pc += 8
+            slots = self._decoded[key] = tuple(out)
+        mem.code_lines[line] = slots
+        return slots
+
+    def compile_one(self, pc: int):
+        """Uncached single-slot compile (misaligned-pc fallback)."""
+        fields = decode_fields(self.mem.data, pc)
+        return _COMPILERS[fields[0]](self, *fields, pc)
+
+
 class Vm:
     """One execution context pinned to a core of a node."""
 
@@ -67,6 +561,10 @@ class Vm:
         self.core = core
         self.intrinsics = intrinsics if intrinsics is not None else IntrinsicTable()
         self.check_pages = check_pages
+        code = getattr(node, "code_cache", None)
+        if code is None:
+            code = node.code_cache = NodeCodeCache(node)
+        self._code = code
         from ..machine.pages import PROT_RW
         self.stack_base = node.map_region(DEFAULT_STACK_BYTES, PROT_RW,
                                           align=4096, label="vmstack")
@@ -87,9 +585,10 @@ class Vm:
         mem = node.mem
         hier = node.hier
         pages = node.pages
-        data = mem.data  # numpy view for fast fetch
         core = self.core
-        l1_lat = hier.cfg.l1_lat
+        mem_size = mem.size
+        code_lines = mem.code_lines
+        compile_line = self._code.compile_line
 
         regs = [0] * NREGS
         for i, a in enumerate(args):
@@ -98,229 +597,56 @@ class Vm:
         regs[LR] = RETURN_SENTINEL
 
         pc = entry
-        elapsed = node.runnable_delay(core, now)  # preempted at entry?
+        # elapsed-ns travels in a one-element box so slot executors can
+        # add memory/native latencies to it
+        ebox = [node.runnable_delay(core, now)]  # preempted at entry?
         steps = 0
-        cur_line = -1
-        watch = node._watch
+        cur_line = None
         check = self.check_pages
+        get_slots = code_lines.get
+        access_line = hier.access_line
+        check_exec = pages.check_exec
 
-        while True:
-            if pc == RETURN_SENTINEL:
-                break
+        while pc != RETURN_SENTINEL:
             if steps >= max_steps:
                 raise VmFault(f"step limit {max_steps} exceeded", pc=pc)
             line = pc >> 6
             if line != cur_line:
+                # bounds before any model side effect: an out-of-range
+                # fetch must fault without touching cache state
+                if pc < 0 or pc + 8 > mem_size:
+                    raise VmFault("instruction fetch out of memory", pc=pc)
                 if check:
-                    pages.check_exec(pc, 8)
-                elapsed += hier.access_line(now + elapsed, core, line, "ifetch")
+                    check_exec(pc, 8)
+                ebox[0] += access_line(now + ebox[0], core, line, "ifetch")
                 cur_line = line
-            if pc < 0 or pc + 8 > mem.size:
-                raise VmFault("instruction fetch out of memory", pc=pc)
-            op, rd, rs1, rs2, imm = decode_fields(data, pc)
             steps += 1
-            elapsed += CPI_NS
-            next_pc = pc + 8
+            ebox[0] += CPI_NS
+            if pc & 7:
+                pc = self._step_misaligned(pc, regs, ebox, now)
+                continue
+            slots = get_slots(line)
+            if slots is None:
+                slots = compile_line(line)
+            pc = slots[(pc >> 3) & 7](self, regs, ebox, now)
 
-            if op == Op.ADDI:
-                if rd != ZR:
-                    regs[rd] = _ux(regs[rs1] + imm)
-            elif op == Op.LD or (Op.LW <= op <= Op.LBU):
-                addr = _ux(regs[rs1] + imm)
-                size = MEM_SIZE[op]
-                if check:
-                    pages.check_read(addr, size)
-                lat = hier.access(now + elapsed, core, addr, size, "read")
-                if lat > l1_lat:
-                    elapsed += lat - l1_lat
-                if op == Op.LD:
-                    value = mem.read_u64(addr)
-                elif op == Op.LW:
-                    value = mem.read_u32(addr)
-                    value = _ux(value - (1 << 32) if value >= (1 << 31) else value)
-                elif op == Op.LWU:
-                    value = mem.read_u32(addr)
-                elif op == Op.LH or op == Op.LHU:
-                    value = int.from_bytes(mem.read(addr, 2), "little")
-                    if op == Op.LH and value >= (1 << 15):
-                        value = _ux(value - (1 << 16))
-                else:  # LB / LBU
-                    value = mem.read_u8(addr)
-                    if op == Op.LB and value >= (1 << 7):
-                        value = _ux(value - (1 << 8))
-                if rd != ZR:
-                    regs[rd] = value
-            elif Op.ST <= op <= Op.SB:
-                addr = _ux(regs[rs1] + imm)
-                size = MEM_SIZE[op]
-                if check:
-                    pages.check_write(addr, size)
-                lat = hier.access(now + elapsed, core, addr, size, "write")
-                if lat > l1_lat:
-                    elapsed += lat - l1_lat
-                value = regs[rd]
-                if op == Op.ST:
-                    mem.write_u64(addr, value)
-                elif op == Op.SW:
-                    mem.write_u32(addr, value)
-                elif op == Op.SH:
-                    mem.write(addr, (value & 0xFFFF).to_bytes(2, "little"))
-                else:
-                    mem.write_u8(addr, value)
-                if watch:
-                    node.notify_write(addr, size)
-            elif Op.ADD <= op <= Op.SLTU:
-                a, b = regs[rs1], regs[rs2]
-                if op == Op.ADD:
-                    value = a + b
-                elif op == Op.SUB:
-                    value = a - b
-                elif op == Op.MUL:
-                    value = a * b
-                elif op == Op.DIV:
-                    sa, sb = _sx(a), _sx(b)
-                    if sb == 0:
-                        raise VmFault("division by zero", pc=pc)
-                    q = abs(sa) // abs(sb)
-                    value = q if (sa < 0) == (sb < 0) else -q
-                elif op == Op.REM:
-                    sa, sb = _sx(a), _sx(b)
-                    if sb == 0:
-                        raise VmFault("division by zero", pc=pc)
-                    q = abs(sa) // abs(sb)
-                    if (sa < 0) != (sb < 0):
-                        q = -q
-                    value = sa - q * sb
-                elif op == Op.AND:
-                    value = a & b
-                elif op == Op.OR:
-                    value = a | b
-                elif op == Op.XOR:
-                    value = a ^ b
-                elif op == Op.SHL:
-                    value = a << (b & 63)
-                elif op == Op.SHR:
-                    value = a >> (b & 63)
-                elif op == Op.SAR:
-                    value = _sx(a) >> (b & 63)
-                elif op == Op.SLT:
-                    value = 1 if _sx(a) < _sx(b) else 0
-                else:  # SLTU
-                    value = 1 if a < b else 0
-                if rd != ZR:
-                    regs[rd] = _ux(value)
-            elif Op.MULI <= op <= Op.SLTI:
-                a = regs[rs1]
-                if op == Op.MULI:
-                    value = a * imm
-                elif op == Op.ANDI:
-                    value = a & _ux(imm)
-                elif op == Op.ORI:
-                    value = a | _ux(imm)
-                elif op == Op.XORI:
-                    value = a ^ _ux(imm)
-                elif op == Op.SHLI:
-                    value = a << (imm & 63)
-                elif op == Op.SHRI:
-                    value = a >> (imm & 63)
-                elif op == Op.SARI:
-                    value = _sx(a) >> (imm & 63)
-                else:  # SLTI
-                    value = 1 if _sx(a) < imm else 0
-                if rd != ZR:
-                    regs[rd] = _ux(value)
-            elif op == Op.B:
-                next_pc = pc + imm
-            elif Op.BEQ <= op <= Op.BGEU:
-                a, b = regs[rs1], regs[rs2]
-                if op == Op.BEQ:
-                    taken = a == b
-                elif op == Op.BNE:
-                    taken = a != b
-                elif op == Op.BLT:
-                    taken = _sx(a) < _sx(b)
-                elif op == Op.BGE:
-                    taken = _sx(a) >= _sx(b)
-                elif op == Op.BLTU:
-                    taken = a < b
-                else:
-                    taken = a >= b
-                if taken:
-                    next_pc = pc + imm
-            elif op == Op.MOVI:
-                if rd != ZR:
-                    regs[rd] = _ux(imm)
-            elif op == Op.MOVHI:
-                if rd != ZR:
-                    regs[rd] = (regs[rd] & 0xFFFFFFFF) | ((imm & 0xFFFFFFFF) << 32)
-            elif op == Op.MOV:
-                if rd != ZR:
-                    regs[rd] = regs[rs1]
-            elif op == Op.ADR:
-                if rd != ZR:
-                    regs[rd] = _ux(pc + imm)
-            elif op == Op.LDG:
-                got_entry = _ux(pc + imm + rs2 * 8)
-                if check:
-                    pages.check_read(got_entry, 8)
-                lat = hier.access(now + elapsed, core, got_entry, 8, "read")
-                if lat > l1_lat:
-                    elapsed += lat - l1_lat
-                if rd != ZR:
-                    regs[rd] = mem.read_u64(got_entry)
-            elif op == Op.LDGI:
-                ptr_loc = _ux(pc + imm)
-                if check:
-                    pages.check_read(ptr_loc, 8)
-                lat = hier.access(now + elapsed, core, ptr_loc, 8, "read")
-                if lat > l1_lat:
-                    elapsed += lat - l1_lat
-                got_base = mem.read_u64(ptr_loc)
-                got_entry = _ux(got_base + rs2 * 8)
-                if check:
-                    pages.check_read(got_entry, 8)
-                lat = hier.access(now + elapsed, core, got_entry, 8, "read")
-                if lat > l1_lat:
-                    elapsed += lat - l1_lat
-                if rd != ZR:
-                    regs[rd] = mem.read_u64(got_entry)
-            elif op == Op.CALL:
-                regs[LR] = pc + 8
-                next_pc = pc + imm
-            elif op == Op.CALLR:
-                target = regs[rs1]
-                regs[LR] = pc + 8
-                if target >= NATIVE_BASE:
-                    elapsed += self._run_native(target, regs, now + elapsed)
-                    next_pc = regs[LR]
-                else:
-                    next_pc = target
-            elif op == Op.RET:
-                next_pc = regs[LR]
-            elif op == Op.JR:
-                target = regs[rs1]
-                if target >= NATIVE_BASE and target != RETURN_SENTINEL:
-                    elapsed += self._run_native(target, regs, now + elapsed)
-                    next_pc = regs[LR]
-                else:
-                    next_pc = target
-            elif op == Op.NOP:
-                pass
-            elif op == Op.HALT:
-                break
-            elif op == Op.SEV:
-                node.notify_write(regs[rs1], 8)
-            elif op == Op.WFE:
-                raise VmFault(
-                    "WFE executed in synchronous VM context (runtime-only op)",
-                    pc=pc)
-            else:
-                raise VmFault(f"illegal opcode {op:#x}", pc=pc)
-
-            pc = next_pc
-
+        elapsed = ebox[0]
         node.add_busy_ns(core, elapsed)
+        _C.instructions += steps
         return CallResult(ret=_sx(regs[0]), elapsed_ns=elapsed, steps=steps)
+
+    # ------------------------------------------------------------------
+    def _step_misaligned(self, pc: int, regs: list[int], ebox: list[float],
+                         now: float) -> int:
+        """Execute one instruction at a non-8-aligned pc.
+
+        Predecoded lines are indexed by 8-byte slot, so a misaligned pc
+        (possible only via a computed jump — the toolchain never emits
+        one) decodes and executes directly, uncached, with the original
+        per-instruction semantics."""
+        if pc < 0 or pc + 8 > self.node.mem.size:
+            raise VmFault("instruction fetch out of memory", pc=pc)
+        return self._code.compile_one(pc)(self, regs, ebox, now)
 
     # ------------------------------------------------------------------
     def _run_native(self, target: int, regs: list[int], now: float) -> float:

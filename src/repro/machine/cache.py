@@ -1,9 +1,18 @@
 """Set-associative cache with true-LRU replacement.
 
 All caches in the hierarchy (L1I/L1D/L2/L3/LLC) are instances of
-:class:`SetAssocCache`.  State is kept in numpy arrays (tags, LRU ticks,
-dirty bits) indexed by set; lookups are O(ways) numpy scans, which profiling
-showed beats dict-based designs at the access counts our benchmarks reach.
+:class:`SetAssocCache`.  State is kept in plain Python ints — per-set
+rows of resident line addresses, LRU ticks and dirty bits — plus a
+``line -> way`` dict (``_map``) covering every resident line.  The dict
+makes the three operations that dominate simulator profiles O(1):
+presence probes (DMA snoops are >90% misses), hit lookups, and
+invalidations.  Only the install path still scans a set row, and that
+row is a tiny list of ints (``ways`` <= 16).
+
+An earlier numpy-backed layout paid a scalar-scan (`row[way] == tag`)
+per probe; at the access counts our benchmarks reach the dict design is
+~4x faster end to end (see docs/ARCHITECTURE.md, "Performance
+engineering").
 
 Addresses are node-physical.  The cache works in units of *lines*
 (``line_addr = addr >> 6`` for 64-byte lines).
@@ -12,8 +21,6 @@ Addresses are node-physical.  The cache works in units of *lines*
 from __future__ import annotations
 
 from typing import Optional
-
-import numpy as np
 
 from ..errors import MachineError
 
@@ -46,8 +53,8 @@ class SetAssocCache:
     """
 
     __slots__ = (
-        "name", "size_bytes", "ways", "sets", "tags", "lru", "dirty",
-        "_tick", "hits", "misses", "evictions",
+        "name", "size_bytes", "ways", "sets", "_set_mask", "_map",
+        "tags", "lru", "dirty", "_tick", "hits", "misses", "evictions",
     )
 
     def __init__(self, name: str, size_bytes: int, ways: int):
@@ -61,32 +68,27 @@ class SetAssocCache:
         self.sets = size_bytes // (ways * LINE_BYTES)
         if self.sets & (self.sets - 1):
             raise MachineError(f"{name}: set count {self.sets} not a power of 2")
-        self.tags = np.full((self.sets, ways), -1, dtype=np.int64)
-        self.lru = np.zeros((self.sets, ways), dtype=np.int64)
-        self.dirty = np.zeros((self.sets, ways), dtype=bool)
+        self._set_mask = self.sets - 1
+        # Per-set rows: resident line address (-1 = invalid), LRU tick,
+        # dirty bit.  Rows are created lazily on first install into a
+        # set — a 32 MB LLC has 32k sets, and benchmarks construct whole
+        # hierarchies per sweep point, so eager allocation dominates the
+        # constructor.  A line present in ``_map`` (line -> way, every
+        # resident line) implies its set's rows exist.
+        self.tags: dict[int, list[int]] = {}
+        self.lru: dict[int, list[int]] = {}
+        self.dirty: dict[int, list[bool]] = {}
+        self._map: dict[int, int] = {}
         self._tick = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
-    # -- internals ---------------------------------------------------------
-
-    def _set_and_tag(self, line_addr: int) -> tuple[int, int]:
-        return line_addr & (self.sets - 1), line_addr >> self.sets.bit_length() - 1
-
-    def _find(self, sidx: int, tag: int) -> int:
-        row = self.tags[sidx]
-        for way in range(self.ways):
-            if row[way] == tag:
-                return way
-        return -1
-
     # -- operations ---------------------------------------------------------
 
     def probe(self, line_addr: int) -> bool:
         """Presence test with no LRU side effects (used by DMA snoop)."""
-        sidx, tag = self._set_and_tag(line_addr)
-        return self._find(sidx, tag) >= 0
+        return line_addr in self._map
 
     def access(self, line_addr: int, write: bool = False) -> bool:
         """Look up a line; on hit update LRU (and dirty for writes).
@@ -94,16 +96,16 @@ class SetAssocCache:
         Returns True on hit.  Misses do NOT allocate — callers decide
         whether to ``install`` after fetching from the next level.
         """
-        sidx, tag = self._set_and_tag(line_addr)
-        way = self._find(sidx, tag)
-        if way < 0:
+        way = self._map.get(line_addr)
+        if way is None:
             self.misses += 1
             return False
         self.hits += 1
         self._tick += 1
-        self.lru[sidx, way] = self._tick
+        sidx = line_addr & self._set_mask
+        self.lru[sidx][way] = self._tick
         if write:
-            self.dirty[sidx, way] = True
+            self.dirty[sidx][way] = True
         return True
 
     def install(self, line_addr: int, dirty: bool = False
@@ -113,55 +115,62 @@ class SetAssocCache:
         Returns (evicted_line_addr, evicted_dirty) or None.  Installing a
         line already present just refreshes it.
         """
-        sidx, tag = self._set_and_tag(line_addr)
-        self._tick += 1
-        way = self._find(sidx, tag)
-        if way >= 0:
-            self.lru[sidx, way] = self._tick
+        self._tick = tick = self._tick + 1
+        sidx = line_addr & self._set_mask
+        way = self._map.get(line_addr)
+        if way is not None:
+            self.lru[sidx][way] = tick
             if dirty:
-                self.dirty[sidx, way] = True
+                self.dirty[sidx][way] = True
             return None
-        row = self.tags[sidx]
+        row = self.tags.get(sidx)
+        if row is None:
+            row = self.tags[sidx] = [-1] * self.ways
+            self.lru[sidx] = [0] * self.ways
+            self.dirty[sidx] = [False] * self.ways
         evicted: Optional[tuple[int, bool]] = None
-        # Prefer an invalid way; otherwise evict true-LRU.
-        for w in range(self.ways):
-            if row[w] == -1:
-                way = w
-                break
+        # Prefer an invalid way; otherwise evict true-LRU.  Scans stay
+        # at C speed (list `in`/`index`/`min`); ticks are unique, so
+        # `index(min(...))` is the unambiguous LRU way.
+        if -1 in row:
+            way = row.index(-1)
         else:
-            way = int(np.argmin(self.lru[sidx]))
-            old_tag = int(row[way])
-            old_line = (old_tag << (self.sets.bit_length() - 1)) | sidx
-            evicted = (old_line, bool(self.dirty[sidx, way]))
+            lru_row = self.lru[sidx]
+            way = lru_row.index(min(lru_row))
+            old_line = row[way]
+            evicted = (old_line, self.dirty[sidx][way])
+            del self._map[old_line]
             self.evictions += 1
-        row[way] = tag
-        self.lru[sidx, way] = self._tick
-        self.dirty[sidx, way] = dirty
+        row[way] = line_addr
+        self._map[line_addr] = way
+        self.lru[sidx][way] = tick
+        self.dirty[sidx][way] = dirty
         return evicted
 
     def invalidate(self, line_addr: int) -> bool:
         """Drop a line if present; returns whether it was dirty."""
-        sidx, tag = self._set_and_tag(line_addr)
-        way = self._find(sidx, tag)
-        if way < 0:
+        way = self._map.pop(line_addr, None)
+        if way is None:
             return False
-        was_dirty = bool(self.dirty[sidx, way])
-        self.tags[sidx, way] = -1
-        self.dirty[sidx, way] = False
-        self.lru[sidx, way] = 0
+        sidx = line_addr & self._set_mask
+        was_dirty = self.dirty[sidx][way]
+        self.tags[sidx][way] = -1
+        self.dirty[sidx][way] = False
+        self.lru[sidx][way] = 0
         return was_dirty
 
     def flush_all(self) -> int:
         """Invalidate everything; returns count of dirty lines dropped."""
-        ndirty = int(self.dirty.sum())
-        self.tags.fill(-1)
-        self.dirty.fill(False)
-        self.lru.fill(0)
+        ndirty = sum(row.count(True) for row in self.dirty.values())
+        self.tags.clear()
+        self.dirty.clear()
+        self.lru.clear()
+        self._map.clear()
         return ndirty
 
     @property
     def occupancy(self) -> int:
-        return int((self.tags != -1).sum())
+        return len(self._map)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -16,10 +16,11 @@ The two firmware/kernel toggles the paper sweeps are first-class here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import MachineError
-from .cache import LINE_BYTES, SetAssocCache, lines_touched
+from ..perf import COUNTERS as _C
+from .cache import SetAssocCache, lines_touched
 from .dram import Dram
 from .prefetcher import StridePrefetcher
 
@@ -73,6 +74,9 @@ class MemoryHierarchy:
         self.prefetchers = [StridePrefetcher(enabled=cfg.prefetch_enabled) for _ in range(n)]
         # per-core last instruction-fetch line (next-line I-prefetch state)
         self._last_ifetch = [-2] * n
+        # hot-path constant: plain float attribute, so the L1-hit fast
+        # path in access_line never chases self.cfg
+        self._l1_lat = cfg.l1_lat
         # stats
         self.dma_stash_lines = 0
         self.dma_dram_lines = 0
@@ -87,11 +91,44 @@ class MemoryHierarchy:
 
     def _install_path(self, now: float, core: int, line: int, l1: SetAssocCache,
                       dirty: bool) -> None:
-        """Fill a line into L1/L2/L3/LLC after a miss, charging write-backs."""
-        for cache in (l1, self.l2[core], self.l3[self._cluster(core)], self.llc):
-            ev = cache.install(line, dirty=dirty and cache is l1)
-            if ev is not None and ev[1]:
-                self._writeback(now, ev[0])
+        """Fill a line into L1/L2/L3/LLC after a miss, charging write-backs.
+
+        The install body is inlined per level (this runs once per line of
+        every streamed payload); write-backs are charged one line at a
+        time, in eviction order, so the DRAM ledger floats match the
+        per-call formulation exactly.
+        """
+        for cache in (l1, self.l2[core], self.l3[core >> 1], self.llc):
+            m = cache._map
+            cache._tick = tick = cache._tick + 1
+            sidx = line & cache._set_mask
+            way = m.get(line)
+            d = dirty and cache is l1
+            if way is not None:  # refresh (typical for the LLC level)
+                cache.lru[sidx][way] = tick
+                if d:
+                    cache.dirty[sidx][way] = True
+                continue
+            row = cache.tags.get(sidx)
+            if row is None:
+                w = cache.ways
+                row = cache.tags[sidx] = [-1] * w
+                cache.lru[sidx] = [0] * w
+                cache.dirty[sidx] = [False] * w
+            if -1 in row:
+                way = row.index(-1)
+            else:
+                lru_row = cache.lru[sidx]
+                way = lru_row.index(min(lru_row))
+                old_line = row[way]
+                if cache.dirty[sidx][way]:
+                    self.dram.charge_bandwidth(now, 1)
+                del m[old_line]
+                cache.evictions += 1
+            row[way] = line
+            m[line] = way
+            cache.lru[sidx][way] = tick
+            cache.dirty[sidx][way] = d
 
     # ------------------------------------------------------------------
     def access_line(self, now: float, core: int, line: int, kind: str) -> float:
@@ -99,10 +136,39 @@ class MemoryHierarchy:
 
         kind: 'read' | 'write' | 'ifetch'.  Returns load-to-use latency ns.
         """
-        cfg = self.cfg
+        _C.cache_probes += 1
         write = kind == "write"
+        if kind != "ifetch":
+            # L1D hit: the 95%+ case for both loads and stores.  Inline
+            # the lookup (one dict get) and skip every other attribute
+            # chase on this path.
+            l1 = self.l1d[core]
+            way = l1._map.get(line)
+            if way is not None:
+                l1.hits += 1
+                l1._tick += 1
+                sidx = line & l1._set_mask
+                l1.lru[sidx][way] = l1._tick
+                if write:
+                    l1.dirty[sidx][way] = True
+                return self._l1_lat
+        cfg = self.cfg
         ifetch = kind == "ifetch"
         if ifetch:
+            # Sequential fetch that hits L1I: the straight-line hot-loop
+            # case, inlined like the L1D path above.  A miss (or taken
+            # branch) falls through to the full model, which re-derives
+            # ``sequential`` — ``_last_ifetch`` is untouched here on miss.
+            last = self._last_ifetch
+            if line == last[core] + 1:
+                l1 = self.l1i[core]
+                way = l1._map.get(line)
+                if way is not None:
+                    last[core] = line
+                    l1.hits += 1
+                    l1._tick += 1
+                    l1.lru[line & l1._set_mask][way] = l1._tick
+                    return self._l1_lat
             # The front end runs a next-line instruction prefetcher:
             # straight-line code never stalls on fetch; only taken
             # branches to cold lines pay the full miss.
@@ -123,12 +189,24 @@ class MemoryHierarchy:
                 self.dram.charge_bandwidth(now, 1)
                 self.demand_dram_lines += 1
                 return cfg.ifetch_seq_dram_ns  # front end runs ahead of the queue
-        l1 = self.l1i[core] if ifetch else self.l1d[core]
-        if l1.access(line, write):
-            return cfg.l1_lat
-        if self.l2[core].access(line, False):
+        if ifetch:
+            l1 = self.l1i[core]
+            if l1.access(line, write):
+                return cfg.l1_lat
+        else:
+            # reads and writes only reach here on an L1D miss — the
+            # inline hit path above already returned
+            l1 = self.l1d[core]
+            l1.misses += 1
+        l2 = self.l2[core]
+        way = l2._map.get(line)
+        if way is not None:
+            l2.hits += 1
+            l2._tick += 1
+            l2.lru[line & l2._set_mask][way] = l2._tick
             l1.install(line, dirty=write)
             return cfg.l2_lat
+        l2.misses += 1
         l3 = self.l3[self._cluster(core)]
         if l3.access(line, False):
             ev = self.l2[core].install(line)
@@ -153,6 +231,24 @@ class MemoryHierarchy:
 
     def access(self, now: float, core: int, addr: int, size: int, kind: str) -> float:
         """Demand access possibly spanning lines; latencies accumulate."""
+        if size > 0 and addr >> 6 == addr + size - 1 >> 6:
+            # within one line: the overwhelmingly common case (VM loads
+            # and stores are <= 8 bytes).  Duplicate access_line's L1D
+            # hit path here to save the delegation call itself.
+            line = addr >> 6
+            if kind != "ifetch":
+                l1 = self.l1d[core]
+                way = l1._map.get(line)
+                if way is not None:
+                    _C.cache_probes += 1
+                    l1.hits += 1
+                    l1._tick += 1
+                    sidx = line & l1._set_mask
+                    l1.lru[sidx][way] = l1._tick
+                    if kind == "write":
+                        l1.dirty[sidx][way] = True
+                    return self._l1_lat
+            return self.access_line(now, core, line, kind)
         total = 0.0
         for line in lines_touched(addr, size):
             total += self.access_line(now + total, core, line, kind)
@@ -170,7 +266,6 @@ class MemoryHierarchy:
         """
         if size <= 0:
             return 0.0
-        cfg = self.cfg
         mem_total = 0.0
         for line in lines_touched(addr, size):
             mem_total += self._stream_line(now + mem_total, core, line, kind)
@@ -178,11 +273,21 @@ class MemoryHierarchy:
         return max(mem_total, cpu_total)
 
     def _stream_line(self, now: float, core: int, line: int, kind: str) -> float:
+        _C.cache_probes += 1
         cfg = self.cfg
         write = kind == "write"
         l1 = self.l1d[core]
-        if l1.access(line, write):
+        # inline L1D hit (dominant once a stream is warm), as in access_line
+        way = l1._map.get(line)
+        if way is not None:
+            l1.hits += 1
+            l1._tick += 1
+            sidx = line & l1._set_mask
+            l1.lru[sidx][way] = l1._tick
+            if write:
+                l1.dirty[sidx][way] = True
             return cfg.stream_line_ns
+        l1.misses += 1
         if self.l2[core].access(line, False):
             l1.install(line, dirty=write)
             return cfg.stream_line_ns + 0.4
@@ -229,8 +334,10 @@ class MemoryHierarchy:
             # bottleneck in this system.
             return len(lines) * 0.625
         self.dma_dram_lines += len(lines)
+        llc_map = self.llc._map
         for line in lines:
-            self.llc.invalidate(line)
+            if line in llc_map:
+                self.llc.invalidate(line)
         q = self.dram.charge_bandwidth(now, len(lines))
         return len(lines) * self.dram.service_per_line_ns + q
 
@@ -248,16 +355,31 @@ class MemoryHierarchy:
 
     def _snoop_invalidate(self, lines: list[int], owner_core: int | None) -> None:
         cores = range(self.cfg.ncores) if owner_core is None else (owner_core,)
-        for line in lines:
-            for c in cores:
-                self.l1i[c].invalidate(line)
-                self.l1d[c].invalidate(line)
-                self.l2[c].invalidate(line)
-            if owner_core is None:
-                for l3 in self.l3:
-                    l3.invalidate(line)
-            else:
-                self.l3[self._cluster(owner_core)].invalidate(line)
+        caches = []
+        for c in cores:
+            caches += (self.l1i[c], self.l1d[c], self.l2[c])
+        if owner_core is None:
+            caches += self.l3
+        else:
+            caches.append(self.l3[self._cluster(owner_core)])
+        # >90% of snooped lines are resident nowhere: intersect the DMA
+        # line set against each cache's resident map at C speed and only
+        # touch actual residents (drop without write-back — matches the
+        # previous unconditional-invalidate behavior).
+        line_set = set(lines)
+        for cache in caches:
+            resident = line_set & cache._map.keys()
+            if not resident:
+                continue
+            cmap = cache._map
+            tags, lru, dirty = cache.tags, cache.lru, cache.dirty
+            mask = cache._set_mask
+            for line in resident:
+                way = cmap.pop(line)
+                sidx = line & mask
+                tags[sidx][way] = -1
+                dirty[sidx][way] = False
+                lru[sidx][way] = 0
 
     # ------------------------------------------------------------------
     def flush_all(self) -> None:

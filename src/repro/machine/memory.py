@@ -30,6 +30,33 @@ class PhysicalMemory:
             raise MachineError("memory size must be a positive multiple of 64")
         self.size = size
         self.data = np.zeros(size, dtype=np.uint8)
+        # memoryview over the same buffer: scalar reads/writes go through
+        # it because a mv slice + int.from_bytes is several times cheaper
+        # than a numpy slice + tobytes on the VM's per-load path
+        self._mv = memoryview(self.data)
+        # Predecoded-code cache: line index -> opaque decode payload,
+        # populated by the CHAIN VM (repro.isa.vm).  Every mutator below
+        # drops overlapping entries, so a cached decode can never outlive
+        # the bytes it was decoded from — this is the invalidation
+        # contract for self-modifying code, GOT rewrites, and DMA into
+        # code pages.  Writers that bypass these methods (mutating a
+        # numpy view directly) would break it; no simulator code does.
+        self.code_lines: dict[int, object] = {}
+
+    def _retire_code(self, addr: int, length: int) -> None:
+        """Drop predecoded lines overlapping [addr, addr+length)."""
+        cl = self.code_lines
+        if not cl or length <= 0:
+            return
+        first = addr >> 6
+        last = (addr + length - 1) >> 6
+        if last - first < len(cl):
+            for line in range(first, last + 1):
+                if line in cl:
+                    del cl[line]
+        else:  # huge write, small cache: intersect the other way
+            for line in [ln for ln in cl if first <= ln <= last]:
+                del cl[line]
 
     def _check(self, addr: int, length: int) -> None:
         if addr < 0 or length < 0 or addr + length > self.size:
@@ -41,45 +68,52 @@ class PhysicalMemory:
     # raw bytes ----------------------------------------------------------
     def read(self, addr: int, length: int) -> bytes:
         self._check(addr, length)
-        return self.data[addr : addr + length].tobytes()
+        return bytes(self._mv[addr : addr + length])
 
     def write(self, addr: int, payload: bytes | bytearray | memoryview) -> None:
         length = len(payload)
         self._check(addr, length)
         self.data[addr : addr + length] = np.frombuffer(payload, dtype=np.uint8)
+        if self.code_lines:
+            self._retire_code(addr, length)
 
     def fill(self, addr: int, length: int, value: int = 0) -> None:
         self._check(addr, length)
         self.data[addr : addr + length] = value & 0xFF
+        if self.code_lines:
+            self._retire_code(addr, length)
 
     # scalars (little-endian) ---------------------------------------------
     def read_u64(self, addr: int) -> int:
         self._check(addr, 8)
-        return int.from_bytes(self.data[addr : addr + 8].tobytes(), "little")
+        return int.from_bytes(self._mv[addr : addr + 8], "little")
 
     def write_u64(self, addr: int, value: int) -> None:
         self._check(addr, 8)
-        self.data[addr : addr + 8] = np.frombuffer(
-            (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"), dtype=np.uint8
-        )
+        self._mv[addr : addr + 8] = (value & 0xFFFFFFFFFFFFFFFF).to_bytes(
+            8, "little")
+        if self.code_lines:
+            self._retire_code(addr, 8)
 
     def read_u32(self, addr: int) -> int:
         self._check(addr, 4)
-        return int.from_bytes(self.data[addr : addr + 4].tobytes(), "little")
+        return int.from_bytes(self._mv[addr : addr + 4], "little")
 
     def write_u32(self, addr: int, value: int) -> None:
         self._check(addr, 4)
-        self.data[addr : addr + 4] = np.frombuffer(
-            (value & 0xFFFFFFFF).to_bytes(4, "little"), dtype=np.uint8
-        )
+        self._mv[addr : addr + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+        if self.code_lines:
+            self._retire_code(addr, 4)
 
     def read_u8(self, addr: int) -> int:
         self._check(addr, 1)
-        return int(self.data[addr])
+        return self._mv[addr]
 
     def write_u8(self, addr: int, value: int) -> None:
         self._check(addr, 1)
-        self.data[addr] = value & 0xFF
+        self._mv[addr] = value & 0xFF
+        if self.code_lines:
+            self._retire_code(addr, 1)
 
     def read_i64(self, addr: int) -> int:
         v = self.read_u64(addr)
@@ -90,10 +124,15 @@ class PhysicalMemory:
 
     # vector views --------------------------------------------------------
     def view_i64(self, addr: int, count: int) -> np.ndarray:
-        """Zero-copy int64 view; requires 8-byte alignment."""
+        """Zero-copy int64 view; requires 8-byte alignment.
+
+        The view is writable, so any predecoded code overlapping it is
+        conservatively retired up front (callers today only read)."""
         if addr % 8:
             raise MemoryFault(f"unaligned i64 view at {addr:#x}", addr=addr)
         self._check(addr, count * 8)
+        if self.code_lines:
+            self._retire_code(addr, count * 8)
         return self.data[addr : addr + count * 8].view(np.int64)
 
 

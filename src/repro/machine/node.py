@@ -9,7 +9,6 @@ preemption state are observed consistently.
 
 from __future__ import annotations
 
-from ..errors import MachineError
 from ..sim.clock import CPU_CLOCK
 from ..sim.engine import Engine, Event
 from ..sim.trace import Scoreboard
@@ -81,7 +80,11 @@ class Node:
             return
         first = addr >> 6
         last = (addr + max(size, 1) - 1) >> 6
-        if last - first < 8:
+        if first == last:  # scalar store: the overwhelmingly common case
+            ev = self._watch.get(first)
+            if ev is not None:
+                ev.fire()
+        elif last - first < 8:
             for line in range(first, last + 1):
                 ev = self._watch.get(line)
                 if ev is not None:

@@ -8,8 +8,6 @@ configurations are functionally distinguishable, not just labels.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..errors import MachineError, MemoryFault
 
 PAGE_SIZE = 4096
@@ -36,7 +34,10 @@ class PageTable:
         if mem_size % PAGE_SIZE:
             raise MachineError("memory size must be page-aligned")
         self.mem_size = mem_size
-        self.prot = np.zeros(mem_size // PAGE_SIZE, dtype=np.uint8)
+        # bytearray, not numpy: permission checks are one scalar index
+        # on the VM's per-memory-op path, where bytearray indexing is a
+        # plain int fetch
+        self.prot = bytearray(mem_size // PAGE_SIZE)
 
     def set_prot(self, addr: int, length: int, prot: int) -> None:
         """Set permissions for all pages overlapping [addr, addr+length)."""
@@ -44,12 +45,12 @@ class PageTable:
             raise MachineError(f"mprotect out of range: {addr:#x}+{length}")
         first = addr // PAGE_SIZE
         last = (addr + length - 1) // PAGE_SIZE
-        self.prot[first : last + 1] = prot
+        self.prot[first : last + 1] = bytes([prot & 0xFF]) * (last + 1 - first)
 
     def prot_of(self, addr: int) -> int:
         if addr < 0 or addr >= self.mem_size:
             raise MemoryFault(f"address out of range: {addr:#x}", addr=addr)
-        return int(self.prot[addr // PAGE_SIZE])
+        return self.prot[addr // PAGE_SIZE]
 
     def _check(self, addr: int, length: int, need: int, kind: str) -> None:
         if addr < 0 or addr + length > self.mem_size:
@@ -61,7 +62,7 @@ class PageTable:
         first = addr // PAGE_SIZE
         last = (addr + length - 1) // PAGE_SIZE
         if first == last:  # fast path: the overwhelmingly common case
-            if int(self.prot[first]) & need == need:
+            if self.prot[first] & need == need:
                 return
             raise MemoryFault(
                 f"{kind} denied at {addr:#x} (need {prot_str(need)})",
@@ -69,7 +70,7 @@ class PageTable:
                 kind=kind,
             )
         pages = self.prot[first : last + 1]
-        if not bool(np.all(pages & need == need)):
+        if any(p & need != need for p in pages):
             raise MemoryFault(
                 f"{kind} denied at {addr:#x} (need {prot_str(need)})",
                 addr=addr,

@@ -17,7 +17,7 @@ covering the written range fire.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import RdmaError, RkeyViolation

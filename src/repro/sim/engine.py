@@ -16,6 +16,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import SimulationError
+from ..perf import COUNTERS as _C
 
 # Type of a simulation process body.
 ProcessBody = Generator[Any, Any, Any]
@@ -188,8 +189,9 @@ class Engine:
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
+        t_start = self.now
+        executed = 0
         try:
-            executed = 0
             while self._heap:
                 t = self._heap[0][0]
                 if until is not None and t > until:
@@ -203,6 +205,8 @@ class Engine:
                     )
         finally:
             self._running = False
+            _C.des_events += executed
+            _C.sim_ns += self.now - t_start
 
     def run_process(self, body: ProcessBody, name: str = "main",
                     until: float | None = None) -> Any:

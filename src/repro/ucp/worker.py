@@ -21,7 +21,6 @@ in a latency test where the CPU spins anyway.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..errors import UcpError
 from ..machine.node import Node

@@ -172,7 +172,12 @@ TOP_LEVEL_KEYS = {
 META_KEYS = {
     "generated_at", "host", "platform", "python", "git_sha",
     "code_version", "seed", "fast", "smoke", "jobs", "wall_clock_s",
-    "cache_hits", "cache_misses",
+    "cache_hits", "cache_misses", "sim_throughput",
+}
+
+SIM_THROUGHPUT_KEYS = {
+    "instructions", "cache_probes", "des_events", "sim_ns", "wall_s",
+    "instructions_per_s", "sim_ns_per_wall_s",
 }
 
 
@@ -187,6 +192,7 @@ def test_bench_json_schema_roundtrip(tmp_path):
     assert payload["schema_version"] == SCHEMA_VERSION
     assert payload["figure"] == CHEAP
     assert set(payload["meta"]) == META_KEYS
+    assert set(payload["meta"]["sim_throughput"]) == SIM_THROUGHPUT_KEYS
     assert payload["config"] == config_fingerprint()
 
     npts = len(payload["points"])

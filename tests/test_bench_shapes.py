@@ -1,6 +1,5 @@
 """Integration tests for the benchmark shapes (small configurations)."""
 
-import pytest
 
 from repro.bench import (
     am_injection_rate,

@@ -1,7 +1,6 @@
 """Tests for the adaptive-injection extension (§VIII future work) and the
 unordered-fabric signalling path (§III-A)."""
 
-import pytest
 
 from repro.core import AdaptiveJamSender, connect_runtimes
 from repro.core.runtime import PreparedJam

@@ -5,7 +5,6 @@ import pytest
 from repro.core import connect_runtimes, unpack_header
 from repro.core.stdworld import make_world
 from repro.errors import MailboxError, VmFault
-from repro.isa import Instr, Op
 from repro.machine import PROT_RW
 
 

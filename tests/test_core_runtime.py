@@ -9,7 +9,7 @@ from repro.elf import build_shared_object
 from repro.errors import PackageError, TwoChainsError
 from repro.isa import assemble
 from repro.machine import PROT_RW
-from repro.core.toolchain import JamSource, RiedSource, build_package
+from repro.core.toolchain import JamSource, build_package
 
 
 def write_ints(node, addr, values):
@@ -83,7 +83,6 @@ class TestInjectedExecution:
                for i in range(16)]
         assert got == vals
         # server-side lookup function agrees
-        from repro.isa import Vm
         vm = world.server.vm
         assert vm.call(lib.symbol("kv_find"), (42,)).ret == off
         assert vm.call(lib.symbol("kv_find"), (999,)).ret == -1
@@ -219,7 +218,6 @@ class TestFunctionOverloading:
         world = make_world(build=None)  # placeholder; build manually below
         # Build a fresh world manually so we can pre-define process_tag
         # differently on each node before loading the package.
-        from repro.core.stdworld import make_world as mw
         from repro.rdma import Testbed
         from repro.core import TwoChainsRuntime
         bed = Testbed.create()

@@ -9,7 +9,6 @@ from repro.elf import build_shared_object, consts as C, read_elf
 from repro.errors import ElfError, UnresolvedSymbolError
 from repro.isa import Vm, assemble
 from repro.linker import Loader, Namespace
-from repro.machine import PROT_RW
 from tests.util import fresh_node
 
 SIMPLE = """

@@ -1,13 +1,11 @@
 """End-to-end scenario tests combining multiple subsystems."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
     AdaptiveJamSender,
     JamSource,
-    RiedSource,
     RuntimeConfig,
     WaitMode,
     build_package,

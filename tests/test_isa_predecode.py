@@ -1,0 +1,150 @@
+"""Predecoded-code cache: population, reuse, and invalidation.
+
+The VM decodes each executed 64-byte line once into slot executors
+cached in ``PhysicalMemory.code_lines`` (see repro.isa.vm).  These tests
+pin the invalidation contract: any write overlapping a cached line —
+a local store, a GOT/data rewrite, or DMA delivery — must drop the
+cached decode so the VM executes the *new* bytes, and the timing model
+must charge the refetch like real invalidated instruction caches would.
+"""
+
+import pytest
+
+from repro.errors import VmFault
+from repro.isa import Vm, assemble
+from tests.util import fresh_node, raw_load
+
+
+def _load(node, source, got=None):
+    om = assemble(source)
+    return raw_load(node, om, got)
+
+
+def _patch_word(source="g: movi a0, 99\nret"):
+    """Encoding of the first instruction of ``source`` (position-free)."""
+    return int.from_bytes(assemble(source).text[:8], "little")
+
+
+class TestPredecodeCache:
+    def test_populated_and_reused_across_calls(self):
+        _, node = fresh_node()
+        syms = _load(node, "f: movi a0, 7\nret")
+        vm = Vm(node)
+        assert vm.call(syms["f"]).ret == 7
+        line = syms["f"] >> 6
+        slots = node.mem.code_lines[line]
+        assert vm.call(syms["f"]).ret == 7
+        # unchanged bytes: the decode is reused, not rebuilt
+        assert node.mem.code_lines[line] is slots
+
+    def test_shared_between_vms_of_one_node(self):
+        _, node = fresh_node()
+        syms = _load(node, "f: movi a0, 7\nret")
+        vm1, vm2 = Vm(node), Vm(node)
+        assert vm1._code is vm2._code
+        assert vm1.call(syms["f"]).ret == vm2.call(syms["f"]).ret == 7
+
+
+class TestSelfModifyingCode:
+    def test_store_to_later_line_executes_new_bytes(self):
+        _, node = fresh_node()
+        # st patches the movi at +64 (next line), already-cached or not
+        syms = _load(node, """
+            f:
+                st a0, 0(a1)
+                nop
+                nop
+                nop
+                nop
+                nop
+                nop
+                nop
+            t:
+                movi a0, 1
+                ret
+        """)
+        vm = Vm(node)
+        assert syms["t"] == syms["f"] + 64
+        res = vm.call(syms["f"], args=(_patch_word(), syms["t"]))
+        assert res.ret == 99
+
+    def test_store_to_current_line_is_visible_same_call(self):
+        _, node = fresh_node()
+        # the patch target sits in the SAME line as the executing store:
+        # the hot loop must re-read the decode cache every step
+        syms = _load(node, """
+            f:
+                st a0, 0(a1)
+                nop
+            t:
+                movi a0, 1
+                ret
+        """)
+        vm = Vm(node)
+        # first run caches the line's original decode, then patches it
+        assert vm.call(syms["f"], args=(_patch_word(), syms["t"])).ret == 99
+        # stale-decode check: run again, patching back to `movi a0, 1`
+        word = int.from_bytes(assemble("g: movi a0, 1\nret").text[:8],
+                              "little")
+        assert vm.call(syms["f"], args=(word, syms["t"])).ret == 1
+
+    def test_got_rewrite_is_seen_by_ldg(self):
+        _, node = fresh_node()
+        syms = _load(node, ".extern foo\nf: ldg a0, foo\nret",
+                     got={"foo": 0x1234})
+        vm = Vm(node)
+        assert vm.call(syms["f"]).ret == 0x1234
+        # classic Two-Chains GOT rewrite: update the pointer cell in place
+        node.mem.write_u64(syms["__got"], 0x5678)
+        assert vm.call(syms["f"]).ret == 0x5678
+
+
+class TestDmaInvalidation:
+    def test_dma_delivery_recompiles_and_charges_refetch(self):
+        _, node = fresh_node()
+        syms = _load(node, "f: movi a0, 1\nret")
+        vm = Vm(node)
+        assert vm.call(syms["f"]).ret == 1
+        line = syms["f"] >> 6
+        assert line in node.mem.code_lines
+
+        # HCA delivery path (rdma.verbs): functional write + coherent DMA
+        new_code = assemble("f: movi a0, 2\nret").text
+        node.mem.write(syms["f"], new_code)
+        assert line not in node.mem.code_lines  # decode dropped immediately
+        node.hier.dma_write(0.0, syms["f"], len(new_code), owner_core=None)
+
+        # the DMA snoop dropped the line from L1I: the next fetch is a
+        # charged refetch, not a free hit
+        misses_before = node.hier.l1i[0].misses
+        assert vm.call(syms["f"]).ret == 2
+        assert node.hier.l1i[0].misses > misses_before
+
+
+class TestFetchBoundsFirst:
+    """An out-of-range fetch faults before touching any model state."""
+
+    def _snapshot(self, node):
+        h = node.hier
+        return (h.l1i[0].hits, h.l1i[0].misses, h.llc.hits, h.llc.misses,
+                list(h._last_ifetch), dict(node.mem.code_lines))
+
+    @pytest.mark.parametrize("entry", [-8, -64])
+    def test_negative_pc_faults_clean(self, entry):
+        _, node = fresh_node()
+        vm = Vm(node, check_pages=False)
+        before = self._snapshot(node)
+        with pytest.raises(VmFault, match="instruction fetch out of memory"):
+            vm.call(entry)
+        assert self._snapshot(node) == before
+
+    def test_past_end_pc_faults_clean(self):
+        _, node = fresh_node()
+        vm = Vm(node, check_pages=False)
+        before = self._snapshot(node)
+        with pytest.raises(VmFault, match="instruction fetch out of memory"):
+            vm.call(node.mem.size)
+        # one instruction short of the end is also an out-of-range fetch
+        with pytest.raises(VmFault, match="instruction fetch out of memory"):
+            vm.call(node.mem.size - 4)
+        assert self._snapshot(node) == before

@@ -6,7 +6,6 @@ from repro.elf import build_shared_object, consts as C, read_elf
 from repro.errors import ElfError
 from repro.isa import Vm, assemble
 from repro.linker import Loader, Namespace
-from repro.machine import PROT_RW
 from repro.sim import Scoreboard
 from tests.util import fresh_node
 
