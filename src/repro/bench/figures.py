@@ -25,6 +25,7 @@ from ..core.config import RuntimeConfig, WaitMode
 from ..core.stdworld import World, make_world
 from ..machine.hierarchy import HierarchyConfig
 from ..machine.noise import StressConfig
+from ..sim.trace import Scoreboard
 from .calibration import (
     BYTE_SIZES,
     INT_COUNTS,
@@ -112,10 +113,13 @@ def assemble(spec: FigureSpec, rows: list[dict]) -> FigureResult:
     if not rows:
         raise ValueError(f"{spec.name}: no sweep points")
     keys = [k for k in rows[0] if k != "x" and not k.startswith("_")]
-    counters: dict[str, int] = {}
+    # Per-point counter dicts (shipped back from pool workers as plain
+    # dicts) fold through a Scoreboard — same merge the workers' own
+    # boards would use if they survived the process boundary.
+    board = Scoreboard()
     for row in rows:
-        for name, value in row.get("_counters", {}).items():
-            counters[name] = counters.get(name, 0) + int(value)
+        board.merge(row.get("_counters", {}))
+    counters = {name: int(value) for name, value in board.counters.items()}
     result = FigureResult(
         figure=spec.name,
         title=spec.title,

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
 
+from ..obs.attribution import phase_breakdown, phase_durations
+from ..obs.tracer import TRACER
 from ..perf import COUNTERS, throughput
 from ..sim.rng import DEFAULT_SEED
 from .figures import FigureResult, FigureSpec, assemble, full_registry
@@ -50,6 +52,9 @@ class PointRecord:
     # SimCounters delta for the point's execution (None for cache hits,
     # which did no simulation work this run).
     sim: dict | None = None
+    # span-name -> [dur_ns, ...] captured while the point ran (None
+    # unless the run was traced; see run_figures(trace=True))
+    phases: dict | None = None
 
 
 @dataclass
@@ -73,6 +78,16 @@ class FigureRun:
                     total[k] = total.get(k, 0) + v
         return total
 
+    @property
+    def phase_durs(self) -> dict:
+        """Per-phase span durations merged over the points, sweep order."""
+        merged: dict = {}
+        for rec in self.points:
+            if rec.phases:
+                for name, durs in rec.phases.items():
+                    merged.setdefault(name, []).extend(durs)
+        return merged
+
 
 def resolve_names(names: list[str] | None) -> list[str]:
     """Validate figure names against the registry (None = everything)."""
@@ -87,32 +102,46 @@ def resolve_names(names: list[str] | None) -> list[str]:
     return list(names)
 
 
-def _exec_point(task: tuple[str, dict]) -> tuple[dict, float, dict]:
+def _exec_point(task: tuple[str, dict, bool]
+                ) -> tuple[dict, float, dict, dict | None]:
     """Pool worker: run one sweep point.
 
-    Returns (row, elapsed seconds, SimCounters delta).  Counters are
-    process-wide, so the delta — not the absolute value — is what ships
-    back from pool workers; the parent sums deltas per figure.
+    Returns (row, elapsed seconds, SimCounters delta, phase durations).
+    Counters are process-wide, so the delta — not the absolute value — is
+    what ships back from pool workers; the parent sums deltas per figure.
+    With ``trace`` set the point runs under the structured tracer and the
+    span durations travel back as a plain name -> [dur_ns] dict (the
+    Tracer itself never crosses the process boundary).
     """
-    name, params = task
+    name, params, trace = task
     spec = full_registry()[name]
     before = COUNTERS.snapshot()
+    phases = None
     t0 = time.perf_counter()
-    row = spec.point(**params)
+    if trace:
+        with TRACER.capture():
+            row = spec.point(**params)
+            phases = phase_durations(TRACER.events)
+    else:
+        row = spec.point(**params)
     elapsed = time.perf_counter() - t0
-    return row, elapsed, COUNTERS.delta(before)
+    return row, elapsed, COUNTERS.delta(before), phases
 
 
 def run_figures(names: list[str] | None = None, *, fast: bool = True,
                 smoke: bool = False, jobs: int = 1,
                 store: ResultStore | None = None,
+                trace: bool = False,
                 log=None) -> list[FigureRun]:
     """Run the requested sweeps, reusing cached points, fanning out misses.
 
     ``smoke`` keeps only the first point of every sweep (the CI target).
     ``jobs`` > 1 runs uncached points in a process pool; assembly order
     is always the sweep order, so parallel runs are bit-identical to
-    serial ones.
+    serial ones.  ``trace`` runs every point under the structured tracer
+    and attaches the per-phase span durations to its record; traced runs
+    skip cache *reads* (a cached row carries no spans) but still refresh
+    the store, and tracing never changes the measured rows.
     """
     names = resolve_names(names)
     registry = full_registry()
@@ -129,7 +158,7 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
         records[name] = [None] * len(points)
         for i, params in enumerate(points):
             key = store.key_for(name, params) if store else None
-            row = store.get(key) if store else None
+            row = store.get(key) if (store and not trace) else None
             if row is not None:
                 records[name][i] = PointRecord(params, row, True, key)
             else:
@@ -137,10 +166,11 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
 
     if log and pending:
         log(f"bench: {sum(len(p) for _, p in plans)} points, "
-            f"{len(pending)} to run, jobs={jobs}")
+            f"{len(pending)} to run, jobs={jobs}"
+            + (", traced" if trace else ""))
 
     plan_by_name = dict(plans)
-    tasks = [(name, plan_by_name[name][i]) for name, i in pending]
+    tasks = [(name, plan_by_name[name][i], trace) for name, i in pending]
 
     if tasks:
         if jobs > 1 and len(tasks) > 1:
@@ -148,13 +178,14 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
                 outs = pool.map(_exec_point, tasks, chunksize=1)
         else:
             outs = [_exec_point(t) for t in tasks]
-        for (name, i), (row, elapsed, sim) in zip(pending, outs):
+        for (name, i), (row, elapsed, sim, phases) in zip(pending, outs):
             params = plan_by_name[name][i]
             key = store.key_for(name, params) if store else None
             if store:
                 store.put(key, name, params, row)
             records[name][i] = PointRecord(params, row, False, key,
-                                           elapsed_s=elapsed, sim=sim)
+                                           elapsed_s=elapsed, sim=sim,
+                                           phases=phases)
 
     runs: list[FigureRun] = []
     for name, points in plans:
@@ -212,6 +243,13 @@ def write_runs(runs: list[FigureRun], out_dir: str | Path,
         # when everything came from cache).  Lives in meta: it tracks
         # the simulator's own speed, not the simulated system's.
         run_meta["sim_throughput"] = throughput(run.sim_counters, run.wall_s)
+        # Per-phase latency attribution from a traced run (span name ->
+        # p50/p95/mean/total over every span the sweep emitted).  Lives
+        # in meta: spans describe where simulated time went, and their
+        # counts vary with sweep depth, not with correctness.
+        durs = run.phase_durs
+        if durs:
+            run_meta["phase_breakdown"] = phase_breakdown(durs)
         payload = bench_payload(run, run_meta)
         path = out / f"BENCH_{run.result.figure}.json"
         path.write_text(json.dumps(payload, indent=1) + "\n")

@@ -1,10 +1,16 @@
 """Single-message timeline: where do the nanoseconds of one AM go?
 
-Instruments one injected send end to end and reports the phase breakdown
-(pack/update, software post, wire+DMA flight, waiter wake-up, header
-parse + dispatch, GOT/code/payload execution).  This is the tool you
-reach for when a figure moves and you want to know which phase did it;
-also exposed as ``twochains trace``.
+Runs one injected send end to end with the structured tracer attached
+(:mod:`repro.obs`) and folds the captured spans into the classic
+four-phase breakdown (pack/post software, wire+DMA flight, waiter
+wake-up, parse+dispatch+execute).  This is the tool you reach for when a
+figure moves and you want to know which phase did it; also exposed as
+``twochains trace``.
+
+The phase boundaries come straight from the instrumentation the models
+emit (``am.send``, ``rdma.put``, ``mb.wait``, ``mb.dispatch``) rather
+than hand-wired hooks, so the numbers here agree with ``trace export``
+and the ``phase_breakdown`` block in benchmark results by construction.
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ from ..core.runtime import PreparedJam, connect_runtimes
 from ..core.stdworld import make_world
 from ..machine.hierarchy import HierarchyConfig
 from ..machine.pages import PROT_RW
+from ..obs.attribution import last_span
+from ..obs.tracer import TRACER
 
 
 @dataclass
@@ -36,15 +44,30 @@ class MessageTimeline:
 
     @property
     def total_ns(self) -> float:
-        return self.phases[-1].end_ns - self.phases[0].start_ns
+        if not self.phases:
+            return 0.0
+        return (max(p.end_ns for p in self.phases)
+                - min(p.start_ns for p in self.phases))
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (``twochains trace --json``)."""
+        return {
+            "wire_size": self.wire_size,
+            "total_ns": round(self.total_ns, 3),
+            "phases": [
+                {"name": p.name, "start_ns": round(p.start_ns, 3),
+                 "end_ns": round(p.end_ns, 3), "dur_ns": round(p.dur, 3)}
+                for p in sorted(self.phases, key=lambda p: p.start_ns)
+            ],
+        }
 
     def render(self) -> str:
         total = self.total_ns
         width = 34
         lines = [f"one-way timeline, {self.wire_size} B frame "
                  f"({total:.0f} ns total)"]
-        for ph in self.phases:
-            frac = ph.dur / total if total else 0.0
+        for ph in sorted(self.phases, key=lambda p: p.start_ns):
+            frac = ph.dur / total if total > 0 else 0.0
             bar = "#" * max(1, round(frac * width)) if ph.dur > 0 else ""
             lines.append(f"  {ph.name:<22s} {ph.dur:8.1f} ns "
                          f"{100 * frac:5.1f}%  {bar}")
@@ -68,49 +91,56 @@ def trace_message(jam: str = "jam_indirect_put", payload_bytes: int = 64,
     payload = world.bed.node0.map_region(max(payload_bytes, 64), PROT_RW)
     prepared = PreparedJam(conn, pkg, jam, payload, payload_bytes,
                            inject=inject)
-    marks: dict[str, float] = {}
     done = engine.event("traced")
 
     def hook(view, slot_addr):
-        marks.setdefault("dispatch_done", engine.now)
         done.fire()
         return None
 
     waiter = world.server.make_waiter(mb, on_frame=hook)
-    # instrument the waiter's wake by wrapping _wait_sig
-    orig_wait = waiter._wait_sig
-
-    def traced_wait(sig_addr, expected):
-        ok = yield from orig_wait(sig_addr, expected)
-        marks.setdefault("woke", engine.now)
-        return ok
-
-    waiter._wait_sig = traced_wait
     waiter.start()
+
+    was_enabled = TRACER.enabled
+    if not was_enabled:
+        TRACER.attach(clear=True)
+    mark = [0]
 
     def driver():
         for _ in range(warmup):
             yield from prepared.send()
             yield done
-            marks.clear()
-        # the traced message
-        marks["send_start"] = engine.now
-        req = yield from prepared.send()
-        marks["posted"] = engine.now
-        marks["delivered_hint"] = req.completion  # resolved after run
+        # the traced message: everything past `mark` belongs to it
+        mark[0] = len(TRACER.events)
+        yield from prepared.send()
         yield done
 
-    engine.run_process(driver(), name="trace")
-    waiter.stop()
-    delivered = marks["delivered_hint"].delivered_at
-    # The waiter records 'woke' for every message; after marks.clear() in
-    # the warmup loop, the surviving entries belong to the traced one.
+    try:
+        engine.run_process(driver(), name="trace")
+        waiter.stop()
+        events = TRACER.events[mark[0]:]
+    finally:
+        if not was_enabled:
+            TRACER.detach()
+
+    send = last_span(events, "am.send")
+    put = last_span(events, "rdma.put")
+    wait = last_span(events, "mb.wait")
+    disp = last_span(events, "mb.dispatch")
+    if None in (send, put, wait, disp):  # pragma: no cover - model bug
+        missing = [n for n, e in zip(("am.send", "rdma.put", "mb.wait",
+                                      "mb.dispatch"),
+                                     (send, put, wait, disp)) if e is None]
+        raise RuntimeError(f"traced send produced no {missing} span(s)")
+    send_start = send[4]
+    posted = send[4] + send[5]
+    delivered = put[4] + put[5]
+    woke = wait[4] + wait[5]
+    dispatch_done = disp[4] + disp[5]
     tl = MessageTimeline(wire_size=fsize)
     tl.phases = [
-        Phase("pack + post sw", marks["send_start"], marks["posted"]),
-        Phase("wire + DMA flight", marks["posted"], delivered),
-        Phase("wake + signal read", delivered, marks["woke"]),
-        Phase("parse + dispatch + exec", marks["woke"],
-              marks["dispatch_done"]),
+        Phase("pack + post sw", send_start, posted),
+        Phase("wire + DMA flight", posted, delivered),
+        Phase("wake + signal read", delivered, woke),
+        Phase("parse + dispatch + exec", woke, dispatch_done),
     ]
     return tl

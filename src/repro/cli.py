@@ -22,8 +22,13 @@ Subcommands mirror the toolchain a user of the real system would have:
       twochains bench run --jobs 4
       twochains bench run fig9 fig10 --full --out results/bench
       twochains bench run --smoke            # one point per figure (CI)
+      twochains bench run --trace            # + phase_breakdown in meta
       twochains bench diff results/old results/bench --threshold 5
       twochains bench diff results/old results/bench --wall-clock
+* ``twochains trace [--json]`` — phase breakdown of one message;
+  ``twochains trace export --figure fig7 -o trace.json`` runs one traced
+  sweep point and writes Chrome/Perfetto trace-event JSON
+  (docs/OBSERVABILITY.md).
 * ``twochains profile [figN ...]`` — cProfile the benchmark sweeps and
   report simulator throughput (instructions/s, sim-ns per wall-second),
   per-subsystem time, and function hotspots::
@@ -127,16 +132,39 @@ def _cmd_perf(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    import json as _json
+
     from .bench.timeline import trace_message
 
     tl = trace_message(jam=args.jam, payload_bytes=args.size,
                        inject=not args.local, stash=not args.nonstash,
                        wfe=args.wfe)
+    if args.json:
+        print(_json.dumps(tl.to_dict(), indent=1))
+        return 0
     print(f"# {args.jam} size={args.size} "
           f"{'local' if args.local else 'injected'} "
           f"{'nonstash' if args.nonstash else 'stash'} "
           f"{'wfe' if args.wfe else 'poll'}")
     print(tl.render())
+    return 0
+
+
+def _cmd_trace_export(args) -> int:
+    from .obs.perfetto import export_figure_trace
+
+    try:
+        summary = export_figure_trace(args.figure, args.out,
+                                      point_index=args.point,
+                                      fast=not args.full)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(f"wrote {summary['path']}: {summary['events']} events "
+          f"({summary['spans']} spans) on {summary['tracks']} tracks")
+    print(f"  figure {summary['figure']} point {summary['params']}")
+    print(f"  spans: {', '.join(summary['span_names'])}")
+    print("  open in https://ui.perfetto.dev or chrome://tracing")
     return 0
 
 
@@ -177,7 +205,7 @@ def _cmd_bench_run(args) -> int:
         store = ResultStore(cache_dir)
     fast = not args.full
     runs = run_figures(names, fast=fast, smoke=args.smoke, jobs=args.jobs,
-                       store=store,
+                       store=store, trace=args.trace,
                        log=None if args.quiet else
                        (lambda m: print(m, file=sys.stderr)))
     meta = build_meta(fast=fast, smoke=args.smoke, jobs=args.jobs)
@@ -279,13 +307,29 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--messages", type=int, default=1000)
     p.set_defaults(fn=_cmd_perf)
 
-    p = sub.add_parser("trace", help="phase breakdown of one message")
+    p = sub.add_parser("trace", help="phase breakdown of one message, or "
+                                     "'trace export' for Perfetto JSON")
     p.add_argument("--jam", default="jam_indirect_put")
     p.add_argument("--size", type=int, default=64)
     p.add_argument("--local", action="store_true")
     p.add_argument("--nonstash", action="store_true")
     p.add_argument("--wfe", action="store_true")
+    p.add_argument("--json", action="store_true",
+                   help="print the timeline as JSON instead of text")
     p.set_defaults(fn=_cmd_trace)
+    tsub = p.add_subparsers(dest="trace_command", required=False,
+                            metavar="export")
+    t = tsub.add_parser("export", help="run one traced sweep point, write "
+                                       "Chrome/Perfetto trace-event JSON")
+    t.add_argument("--figure", default="fig7",
+                   help="registered sweep (default fig7; see 'bench list')")
+    t.add_argument("--point", type=int, default=0,
+                   help="sweep-point index (default 0)")
+    t.add_argument("--full", action="store_true",
+                   help="index into the full sweep axes")
+    t.add_argument("-o", "--out", default="trace.json",
+                   help="output path (default trace.json)")
+    t.set_defaults(fn=_cmd_trace_export)
 
     p = sub.add_parser("figures", help="regenerate paper figures")
     p.add_argument("names", nargs="*", metavar="figN")
@@ -314,6 +358,10 @@ def make_parser() -> argparse.ArgumentParser:
                    help="point-cache directory (default <out>/.cache)")
     b.add_argument("--no-cache", action="store_true",
                    help="ignore and do not populate the point cache")
+    b.add_argument("--trace", action="store_true",
+                   help="run every point under the structured tracer and "
+                        "embed a phase_breakdown block in the result meta "
+                        "(skips cache reads; rows are unchanged)")
     b.add_argument("--quiet", action="store_true",
                    help="suppress progress and text tables")
     b.set_defaults(fn=_cmd_bench_run)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from ..errors import TwoChainsError
 from ..isa.encoding import Instr, decode, encode_program
 from ..isa.opcodes import INSTR_BYTES, Op
+from ..obs.tracer import PID_SIM, TID_TOOL, TRACER as _T
 
 # The GOTP cell sits immediately before the first code byte in the frame.
 GOTP_REL_TO_CODE = -8
@@ -31,6 +32,7 @@ def rewrite_got_accesses(text: bytes, code_base_offset: int = 0) -> bytes:
     if len(text) % INSTR_BYTES:
         raise TwoChainsError("text length not instruction-aligned")
     out = []
+    patched = 0
     for off in range(0, len(text), INSTR_BYTES):
         instr = decode(text, off)
         if instr.op is Op.LDG:
@@ -38,7 +40,13 @@ def rewrite_got_accesses(text: bytes, code_base_offset: int = 0) -> bytes:
             imm = GOTP_REL_TO_CODE - (code_base_offset + off)
             instr = Instr(Op.LDGI, rd=instr.rd, rs1=instr.rs1,
                           rs2=instr.rs2, imm=imm)
+            patched += 1
         out.append(instr)
+    if _T.enabled:
+        # Toolchain work has no sim-time cost model; mark it as an instant
+        # on the toolchain track at the tracer's last-seen sim time.
+        _T.instant(PID_SIM, TID_TOOL, "got.rewrite", _T.ts_hint(),
+                   {"instrs": len(out), "patched": patched})
     return encode_program(out)
 
 

@@ -21,6 +21,7 @@ from typing import Callable, Optional
 
 from ..errors import MailboxError
 from ..machine.pages import PROT_RW, PROT_RWX, PROT_RX
+from ..obs.tracer import TRACER as _T, node_pid
 from ..rdma.mr import Access
 from ..sim.clock import CPU_CLOCK
 from ..sim.engine import Delay
@@ -174,6 +175,12 @@ class Waiter:
         lat = node.hier.access(rt.engine.now, core, sig_addr, 1, "read")
         node.add_busy_ns(core, lat)
         yield Delay(lat)
+        if _T.enabled:
+            end = rt.engine.now
+            pid = node_pid(node.node_id)
+            _T.span(pid, core, "mb.wait", start, end,
+                    {"mode": cfg.wait_mode.value})
+            _T.span(pid, core, "mb.sig_read", end - lat, end)
         return True
 
     # -- dispatch -------------------------------------------------------------------
@@ -184,6 +191,7 @@ class Waiter:
         node = rt.node
         core = self.core
         cfg = rt.cfg
+        t0 = rt.engine.now
         # Parse the header: one read sweep over HDR+GOTP.
         lat = node.hier.access(rt.engine.now, core, slot_addr,
                                HDR_SIZE + 8, "read")
@@ -201,8 +209,17 @@ class Waiter:
             self.stats.rejected_frames += 1
             run_it = False
 
+        if _T.enabled:
+            _T.span(node_pid(node.node_id), core, "mb.parse", t0, t0 + cost,
+                    {"injected": bool(view.injected)})
         if run_it:
             yield from self._invoke(view, slot_addr)
+        if _T.enabled:
+            # Dispatch ends before the on_frame hook: the hook belongs
+            # to the benchmark (e.g. the pong send), not the message.
+            _T.span(node_pid(node.node_id), core, "mb.dispatch", t0,
+                    rt.engine.now,
+                    {"injected": bool(view.injected), "executed": run_it})
         if self.on_frame is not None:
             out = self.on_frame(view, slot_addr)
             if out is not None and hasattr(out, "__iter__"):
@@ -231,6 +248,9 @@ class Waiter:
                 w = node.hier.access(rt.engine.now, self.core,
                                      slot_addr + view.gotp_off, 8, "write")
                 node.add_busy_ns(self.core, w)
+                if _T.enabled:
+                    _T.span(node_pid(node.node_id), self.core, "got.patch",
+                            rt.engine.now, rt.engine.now + w)
                 yield Delay(w)
             if cfg.split_code_pages:
                 entry = yield from self._stage_code(view, slot_addr)
@@ -247,10 +267,15 @@ class Waiter:
             else:
                 entry = element.local_fn
 
+        t_inv = rt.engine.now
         res = self.vm.call(entry, args, now=rt.engine.now)
         self.stats.exec_ns_total += res.elapsed_ns
         self.stats.last_exec_ret = res.ret
         total = cfg.invoke_setup_ns + res.elapsed_ns
+        if _T.enabled:
+            _T.span(node_pid(node.node_id), self.core, "mb.invoke", t_inv,
+                    t_inv + total, {"injected": bool(view.injected),
+                                    "element": view.element_id})
         yield Delay(total)
 
     def _stage_code(self, view: FrameView, slot_addr: int):
@@ -273,6 +298,9 @@ class Waiter:
         cost += node.hier.stream_cost(rt.engine.now + cost, self.core,
                                       scratch, size, "write")
         node.add_busy_ns(self.core, cost)
+        if _T.enabled:
+            _T.span(node_pid(node.node_id), self.core, "mb.stage_code",
+                    rt.engine.now, rt.engine.now + cost, {"size": size})
         yield Delay(cost)
         return scratch + 8  # entry: first code byte after the GOTP cell
 

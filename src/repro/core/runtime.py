@@ -20,6 +20,7 @@ from ..linker.loader import Loader
 from ..linker.namespace import Namespace
 from ..machine.node import Node
 from ..machine.pages import PROT_RW
+from ..obs.tracer import TRACER as _T, node_pid
 from ..rdma.mr import Access
 from ..rdma.verbs import Hca, QueuePair
 from ..sim.engine import Delay, Engine
@@ -76,10 +77,16 @@ class TwoChainsRuntime:
         ``namespace.redefine``) to change what already-installed jams and
         local functions call — without restarting the process (§III)."""
         self.loader.relink(pkg.library)
+        slots = 0
         for el, art in zip(pkg.elements, pkg.build.jams):
             for slot, sym in enumerate(art.externs):
                 self.node.mem.write_u64(el.got_addr + slot * 8,
                                         self.namespace.resolve(sym))
+                slots += 1
+        if _T.enabled:
+            _T.instant(node_pid(self.node.node_id), self.core, "got.relink",
+                       self.engine.now,
+                       {"package": pkg.build.name, "slots": slots})
 
     def create_mailbox(self, banks: int = 1, slots: int = 1,
                        frame_size: int = 1024) -> Mailbox:
@@ -173,6 +180,9 @@ class Connection:
         node.add_wait_cycles(self.rt.core, int((self.rt.engine.now - start)
                                                * 2.6))
         node.mem.write_u64(addr, 0)
+        if _T.enabled:
+            _T.span(node_pid(node.node_id), self.rt.core, "am.fc_wait",
+                    start, self.rt.engine.now, {"bank": bank})
 
     def send_jam(self, package: LoadedPackage, element_name: str,
                  payload_addr: int, payload_size: int,
@@ -183,6 +193,7 @@ class Connection:
         rt = self.rt
         node = rt.node
         cfg = rt.cfg
+        t_send = rt.engine.now
         el = package.element(element_name)
         key = (package.package_id, el.element_id)
         remote = self._remote.get(key)
@@ -242,6 +253,10 @@ class Connection:
                                           self._staging + code_off + len(code),
                                           payload_size, "write")
         node.add_busy_ns(rt.core, cost)
+        if _T.enabled:
+            _T.span(node_pid(node.node_id), rt.core, "am.pack",
+                    rt.engine.now, rt.engine.now + cost,
+                    {"wire": wire, "inject": inject})
         yield Delay(cost)
 
         slot_addr = (self.info.addr
@@ -249,8 +264,15 @@ class Connection:
         req = rt.ep.put_nbi(rt.engine.now, self._staging, slot_addr,
                             self.info.frame_size, self.info.rkey,
                             track=False)
+        if _T.enabled:
+            _T.span(node_pid(node.node_id), rt.core, "am.post",
+                    rt.engine.now, rt.engine.now + req.cpu_ns)
         yield Delay(req.cpu_ns)
         self.sends += 1
+        if _T.enabled:
+            _T.span(node_pid(node.node_id), rt.core, "am.send",
+                    t_send, rt.engine.now,
+                    {"element": el.element_id, "inject": inject})
         return req
 
 
@@ -329,6 +351,7 @@ class PreparedJam:
         """
         conn = self.conn
         rt = conn.rt
+        t_send = rt.engine.now
         bank, slot, seq = conn._next_slot()
         if conn.flow_control and slot == 0:
             yield from conn._wait_bank_free(bank)
@@ -339,11 +362,18 @@ class PreparedJam:
         rt.node.mem.write_u8(self.staging + fsize - 1,
                              seq if ordered else 0)
         rt.node.add_busy_ns(rt.core, self._UPDATE_NS)
+        if _T.enabled:
+            pid = node_pid(rt.node.node_id)
+            _T.span(pid, rt.core, "am.update", rt.engine.now,
+                    rt.engine.now + self._UPDATE_NS)
         yield Delay(self._UPDATE_NS)
         slot_addr = (conn.info.addr
                      + (bank * conn.info.slots + slot) * fsize)
         req = rt.ep.put_nbi(rt.engine.now, self.staging, slot_addr,
                             fsize, conn.info.rkey, track=False)
+        if _T.enabled:
+            _T.span(node_pid(rt.node.node_id), rt.core, "am.post",
+                    rt.engine.now, rt.engine.now + req.cpu_ns)
         yield Delay(req.cpu_ns)  # the post's software path is serial work
         if not ordered:
             # fence, then the signal byte in its own put
@@ -352,8 +382,15 @@ class PreparedJam:
             req = rt.ep.put_nbi(rt.engine.now, self.staging + fsize - 1,
                                 slot_addr + fsize - 1, 1, conn.info.rkey,
                                 track=False)
+            if _T.enabled:
+                _T.span(node_pid(rt.node.node_id), rt.core, "am.post",
+                        rt.engine.now, rt.engine.now + req.cpu_ns,
+                        {"signal": True})
             yield Delay(req.cpu_ns)
         conn.sends += 1
+        if _T.enabled:
+            _T.span(node_pid(rt.node.node_id), rt.core, "am.send",
+                    t_send, rt.engine.now, {"prepared": True})
         return req
 
 

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 
 from ..errors import VmFault
 from ..machine.node import Node
+from ..obs.tracer import TRACER as _T, node_pid
 from ..perf import COUNTERS as _C
 from .encoding import decode_fields
 from .opcodes import Op
@@ -633,6 +634,9 @@ class Vm:
         elapsed = ebox[0]
         node.add_busy_ns(core, elapsed)
         _C.instructions += steps
+        if _T.enabled:
+            _T.span(node_pid(node.node_id), core, "vm.call", now,
+                    now + elapsed, {"steps": steps, "entry": entry})
         return CallResult(ret=_sx(regs[0]), elapsed_ns=elapsed, steps=steps)
 
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import MachineError
+from ..obs.tracer import TRACER as _T, node_pid
 from ..perf import COUNTERS as _C
 from .cache import SetAssocCache, lines_touched
 from .dram import Dram
@@ -62,6 +63,9 @@ class MemoryHierarchy:
 
     def __init__(self, cfg: HierarchyConfig | None = None):
         self.cfg = cfg = cfg or HierarchyConfig()
+        # Which node this hierarchy belongs to (Node.__init__ sets it);
+        # only read when tracing, to tag miss events with a track.
+        self.node_id = 0
         if cfg.ncores % 2:
             raise MachineError("core count must be even (2-core clusters)")
         n = cfg.ncores
@@ -185,9 +189,15 @@ class MemoryHierarchy:
                 in_llc = self.llc.access(line, False)
                 self._install_path(now, core, line, l1, False)
                 if in_llc:
+                    if _T.enabled:
+                        _T.instant(node_pid(self.node_id), core,
+                                   "cache.miss.llc", now, {"kind": kind})
                     return cfg.ifetch_seq_llc_ns
                 self.dram.charge_bandwidth(now, 1)
                 self.demand_dram_lines += 1
+                if _T.enabled:
+                    _T.instant(node_pid(self.node_id), core,
+                               "cache.miss.dram", now, {"kind": kind})
                 return cfg.ifetch_seq_dram_ns  # front end runs ahead of the queue
         if ifetch:
             l1 = self.l1i[core]
@@ -205,6 +215,9 @@ class MemoryHierarchy:
             l2._tick += 1
             l2.lru[line & l2._set_mask][way] = l2._tick
             l1.install(line, dirty=write)
+            if _T.enabled:
+                _T.instant(node_pid(self.node_id), core, "cache.miss.l2",
+                           now, {"kind": kind})
             return cfg.l2_lat
         l2.misses += 1
         l3 = self.l3[self._cluster(core)]
@@ -213,13 +226,22 @@ class MemoryHierarchy:
             if ev is not None and ev[1]:
                 self._writeback(now, ev[0])
             l1.install(line, dirty=write)
+            if _T.enabled:
+                _T.instant(node_pid(self.node_id), core, "cache.miss.l3",
+                           now, {"kind": kind})
             return cfg.l2_lat + (cfg.l3_lat - cfg.l2_lat)
         if self.llc.access(line, False):
             self._install_path(now, core, line, l1, write)
+            if _T.enabled:
+                _T.instant(node_pid(self.node_id), core, "cache.miss.llc",
+                           now, {"kind": kind})
             return cfg.llc_lat
         # Miss all the way to DRAM.
         covered = self.prefetchers[core].observe_miss(line)
         self._install_path(now, core, line, l1, write)
+        if _T.enabled:
+            _T.instant(node_pid(self.node_id), core, "cache.miss.dram",
+                       now, {"kind": kind, "prefetched": covered})
         if covered:
             # A hot stream already has the line in flight: latency mostly
             # hidden, but the line still crosses the DRAM channel.

@@ -36,6 +36,7 @@ class Node:
         self.pages = PageTable(mem_size)
         self.alloc = BumpAllocator(_HEAP_BASE, mem_size)
         self.hier = MemoryHierarchy(hier_cfg)
+        self.hier.node_id = node_id
         self.ncores = self.hier.cfg.ncores
         self.board = Scoreboard()
         # WFE monitors: line address -> Event fired on any write to the line.

@@ -1,0 +1,42 @@
+"""Structured observability for the simulated system.
+
+``obs`` answers *where the nanoseconds of one message go* with
+first-class data instead of hand-wired hooks:
+
+* :mod:`.tracer` — the process-wide span/instant recorder every model
+  layer reports into (DES dispatch, RDMA verbs, mailbox wait/dispatch,
+  VM execution, GOT rewrites, cache misses).  Disabled by default; the
+  instrumentation contract is a single ``if TRACER.enabled`` predicate
+  on any hot path.
+* :mod:`.perfetto` — Chrome/Perfetto trace-event JSON export
+  (``twochains trace export``).
+* :mod:`.attribution` — span-tree helpers and the per-phase latency
+  breakdown (``phase_breakdown``) that benchmarks embed in
+  ``BENCH_<figure>.json`` meta.
+
+See docs/OBSERVABILITY.md for the track model and schemas.
+"""
+
+from .attribution import phase_breakdown, phase_durations, span_children
+from .tracer import (
+    PID_SIM,
+    TID_DES,
+    TID_HCA,
+    TID_TOOL,
+    TRACER,
+    Tracer,
+    node_pid,
+)
+
+__all__ = [
+    "PID_SIM",
+    "TID_DES",
+    "TID_HCA",
+    "TID_TOOL",
+    "TRACER",
+    "Tracer",
+    "node_pid",
+    "phase_breakdown",
+    "phase_durations",
+    "span_children",
+]

@@ -1,0 +1,94 @@
+"""Span-tree latency attribution: from raw events to a phase breakdown.
+
+Two consumers:
+
+* ``bench run --trace`` — every sweep point runs with the tracer
+  attached; the per-point span durations are grouped by span name and
+  summarized (p50/p95/mean/total) into the ``phase_breakdown`` block of
+  ``BENCH_<figure>.json`` meta (schema: docs/OBSERVABILITY.md).
+* ``twochains trace`` — the single-message timeline derives its phase
+  list from the span tree instead of hand-wired hooks
+  (:mod:`repro.bench.timeline`).
+
+Durations are simulated nanoseconds, so every number here is
+deterministic for a given seed and sweep point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def phase_durations(events: list[tuple],
+                    durs: dict[str, list[float]] | None = None
+                    ) -> dict[str, list[float]]:
+    """Group complete-span durations by span name.
+
+    ``durs`` accumulates in place when given (the orchestrator merges
+    many points into one dict); instants carry no duration and are
+    skipped.  Returns the mapping ``name -> [dur_ns, ...]`` in emission
+    order, which is deterministic.
+    """
+    out = durs if durs is not None else {}
+    for ev in events:
+        if ev[0] != "X":
+            continue
+        out.setdefault(ev[3], []).append(ev[5])
+    return out
+
+
+def summarize_phase(durs: list[float]) -> dict:
+    """p50/p95/mean/total summary of one phase's span durations."""
+    arr = np.asarray(durs, dtype=np.float64)
+    return {
+        "count": int(arr.size),
+        "p50_ns": round(float(np.percentile(arr, 50.0)), 3),
+        "p95_ns": round(float(np.percentile(arr, 95.0)), 3),
+        "mean_ns": round(float(arr.mean()), 3),
+        "total_ns": round(float(arr.sum()), 3),
+    }
+
+
+def phase_breakdown(durs_or_events) -> dict[str, dict]:
+    """The ``phase_breakdown`` block: per-phase latency summaries.
+
+    Accepts either a raw event list (from :class:`~.tracer.Tracer`) or a
+    pre-merged ``name -> [dur_ns, ...]`` mapping.  Keys are sorted so the
+    serialized block is stable.
+    """
+    if isinstance(durs_or_events, dict):
+        durs = durs_or_events
+    else:
+        durs = phase_durations(durs_or_events)
+    return {name: summarize_phase(vals)
+            for name, vals in sorted(durs.items()) if vals}
+
+
+def span_children(events: list[tuple], parent: tuple) -> list[tuple]:
+    """Spans strictly nested inside ``parent`` on the same track.
+
+    Containment is by ``[ts, ts+dur]`` interval on one ``(pid, tid)``
+    track — the same rule Perfetto uses to stack "X" events.  The parent
+    itself is excluded; grandchildren are included (it is a subtree
+    listing, not a single level).
+    """
+    _, pid, tid, _, ts, dur, _ = parent
+    end = ts + dur
+    out = []
+    for ev in events:
+        if ev[0] != "X" or ev is parent:
+            continue
+        if ev[1] != pid or ev[2] != tid:
+            continue
+        if ev[4] >= ts and ev[4] + ev[5] <= end and ev[5] < dur:
+            out.append(ev)
+    return out
+
+
+def last_span(events: list[tuple], name: str,
+              pid: int | None = None) -> tuple | None:
+    """Latest-emitted complete span with ``name`` (and ``pid``, if given)."""
+    for ev in reversed(events):
+        if ev[0] == "X" and ev[3] == name and (pid is None or ev[1] == pid):
+            return ev
+    return None

@@ -1,0 +1,102 @@
+"""Chrome/Perfetto trace-event JSON export.
+
+Turns the tracer's event list into the `trace-event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+that chrome://tracing and https://ui.perfetto.dev load directly:
+``"X"`` complete spans with microsecond ``ts``/``dur``, ``"i"`` instant
+events, and ``"M"`` metadata naming each process/thread after the track
+model in :mod:`.tracer` (DES loop, toolchain, per-node cores and HCAs).
+
+``export_figure_trace`` is the ``twochains trace export`` backend: it
+runs one registered sweep point with the tracer attached and writes the
+resulting trace document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .tracer import PID_SIM, TID_DES, TID_HCA, TID_TOOL, TRACER
+
+
+def _process_name(pid: int) -> str:
+    return "sim" if pid == PID_SIM else f"node{pid - 1}"
+
+
+def _thread_name(pid: int, tid: int) -> str:
+    if pid == PID_SIM:
+        return {TID_DES: "DES", TID_TOOL: "toolchain"}.get(tid, f"t{tid}")
+    if tid == TID_HCA:
+        return "HCA"
+    return f"core{tid}"
+
+
+def to_trace_events(events: list[tuple]) -> list[dict]:
+    """The ``traceEvents`` array: metadata first, then the events.
+
+    ``ts``/``dur`` are microseconds (floats) per the trace-event spec;
+    the tracer records nanoseconds, so values divide by 1000.  Instants
+    use thread scope (``"s": "t"``).
+    """
+    out: list[dict] = []
+    tracks = sorted({(e[1], e[2]) for e in events})
+    for pid in sorted({p for p, _ in tracks}):
+        out.append({"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                    "args": {"name": _process_name(pid)}})
+    for pid, tid in tracks:
+        out.append({"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                    "args": {"name": _thread_name(pid, tid)}})
+    for ph, pid, tid, name, ts, dur, args in events:
+        ev = {"ph": ph, "name": name, "cat": name.split(".", 1)[0],
+              "pid": pid, "tid": tid, "ts": round(ts / 1000.0, 6)}
+        if ph == "X":
+            ev["dur"] = round(dur / 1000.0, 6)
+        elif ph == "i":
+            ev["s"] = "t"
+        if args:
+            ev["args"] = args
+        out.append(ev)
+    return out
+
+
+def to_trace_document(events: list[tuple]) -> dict:
+    return {"displayTimeUnit": "ns", "traceEvents": to_trace_events(events)}
+
+
+def export_figure_trace(figure: str, out_path: str | Path,
+                        point_index: int = 0, fast: bool = True) -> dict:
+    """Run one sweep point of ``figure`` traced; write the Perfetto JSON.
+
+    Returns a small summary (events, tracks, span names, path) for the
+    CLI to print.  Raises ``ValueError`` for unknown figures, like the
+    orchestrator does.
+    """
+    from ..bench.figures import full_registry  # local: avoid import cycle
+
+    registry = full_registry()
+    if figure not in registry:
+        raise ValueError(f"unknown figure {figure!r}; choices: "
+                         f"{', '.join(registry)}")
+    spec = registry[figure]
+    points = spec.points(fast)
+    if not 0 <= point_index < len(points):
+        raise ValueError(f"{figure} has {len(points)} points; "
+                         f"index {point_index} is out of range")
+    with TRACER.capture():
+        spec.point(**points[point_index])
+        events = list(TRACER.events)
+    doc = to_trace_document(events)
+    path = Path(out_path)
+    path.write_text(json.dumps(doc, indent=None, separators=(",", ":"))
+                    + "\n")
+    spans = [e for e in events if e[0] == "X"]
+    return {
+        "path": str(path),
+        "figure": figure,
+        "params": points[point_index],
+        "events": len(events),
+        "spans": len(spans),
+        "tracks": len({(e[1], e[2]) for e in events}),
+        "span_names": sorted({e[3] for e in spans}),
+    }

@@ -22,6 +22,7 @@ from typing import Optional
 
 from ..errors import RdmaError, RkeyViolation
 from ..machine.node import Node
+from ..obs.tracer import TID_HCA, TRACER as _T, node_pid
 from ..sim.engine import Engine, Event
 from .mr import Access, MemoryRegion, MrTable
 from .params import DEFAULT_LINK, LinkParams
@@ -130,6 +131,14 @@ class QueuePair:
         post_done, delivered, _ = self._schedule(
             size, now, src_addr if payload is None else None)
         self.src.bytes_tx += size
+        if _T.enabled:
+            # Sender HCA track: the whole put (outer), its software post
+            # and wire/DMA flight nested inside.
+            pid = node_pid(self.src.node.node_id)
+            _T.span(pid, TID_HCA, "rdma.put", now, delivered, {"size": size})
+            _T.span(pid, TID_HCA, "rdma.post", now, post_done)
+            _T.span(pid, TID_HCA, "rdma.flight", post_done, delivered,
+                    {"size": size})
 
         def deliver() -> None:
             try:
@@ -148,6 +157,12 @@ class QueuePair:
                                           owner_core=None)
                 self.dst.rx_busy_until = max(self.dst.rx_busy_until,
                                              self.engine.now) + occ
+                if _T.enabled:
+                    _T.span(node_pid(node.node_id), TID_HCA,
+                            "rdma.dma_write", self.engine.now,
+                            self.engine.now + occ,
+                            {"size": size,
+                             "stash": node.hier.cfg.stash_enabled})
             self.dst.bytes_rx += size
             comp.delivered_at = self.engine.now
             node.notify_write(dst_addr, size)
@@ -175,6 +190,9 @@ class QueuePair:
                + wire + link.hca_proc_ns)
         done = start + rtt
         self.src.tx_busy_until = start + wire
+        if _T.enabled:
+            _T.span(node_pid(self.src.node.node_id), TID_HCA, "rdma.get",
+                    now, done, {"size": size})
 
         def finish() -> None:
             try:

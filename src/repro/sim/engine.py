@@ -16,6 +16,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import SimulationError
+from ..obs.tracer import PID_SIM, TID_DES, TRACER as _T
 from ..perf import COUNTERS as _C
 
 # Type of a simulation process body.
@@ -177,6 +178,14 @@ class Engine:
             return False
         t, _seq, fn, args = heapq.heappop(self._heap)
         self.now = t
+        if _T.enabled:
+            # Name the dispatch after its target: a Process carries its
+            # name, an Event.fire its event name, else the qualname.
+            owner = getattr(fn, "__self__", None)
+            label = getattr(owner, "name", None)
+            if not isinstance(label, str):
+                label = getattr(fn, "__qualname__", "callback")
+            _T.instant(PID_SIM, TID_DES, label, t)
         fn(*args)
         return True
 

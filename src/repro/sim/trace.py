@@ -41,6 +41,26 @@ class Scoreboard:
         self.counters.clear()
         self.samples.clear()
 
+    # merging --------------------------------------------------------------
+    def merge(self, other: "Scoreboard | dict") -> "Scoreboard":
+        """Fold another scoreboard (or a bare counter dict) into this one.
+
+        Counters add; sample series concatenate in call order.  This is
+        how the bench orchestrator combines per-point boards shipped
+        back from pool workers — a worker's Scoreboard object dies with
+        its process, but its counters travel in the point row and are
+        re-aggregated here.  Returns ``self`` for chaining.
+        """
+        if isinstance(other, Scoreboard):
+            counters = other.counters
+            for name, values in other.samples.items():
+                self.samples[name].extend(values)
+        else:
+            counters = other
+        for name, value in counters.items():
+            self.counters[name] += value
+        return self
+
     def snapshot(self) -> dict[str, int]:
         """Copy of the counters; used for interval deltas."""
         return dict(self.counters)

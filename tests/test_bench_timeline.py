@@ -1,8 +1,10 @@
 """Tests for the single-message timeline tracer."""
 
+import json
+
 import pytest
 
-from repro.bench.timeline import trace_message
+from repro.bench.timeline import MessageTimeline, Phase, trace_message
 from repro.cli import main as cli_main
 
 
@@ -51,3 +53,32 @@ class TestTrace:
     def test_cli_trace(self, capsys):
         assert cli_main(["trace", "--jam", "jam_ss_sum", "--size", "64"]) == 0
         assert "one-way timeline" in capsys.readouterr().out
+
+    def test_cli_trace_json(self, capsys):
+        assert cli_main(["trace", "--jam", "jam_ss_sum", "--size", "64",
+                         "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["wire_size"] >= 64 and doc["total_ns"] > 0
+        assert [p["name"] for p in doc["phases"]] == [
+            "pack + post sw", "wire + DMA flight", "wake + signal read",
+            "parse + dispatch + exec"]
+        for p in doc["phases"]:
+            assert p["dur_ns"] == pytest.approx(p["end_ns"] - p["start_ns"],
+                                                abs=0.002)
+
+
+class TestTimelineEdges:
+    def test_render_guards_zero_total(self):
+        tl = MessageTimeline(wire_size=64,
+                             phases=[Phase("only", 10.0, 10.0)])
+        text = tl.render()  # must not divide by zero
+        assert "0 ns total" in text and "0.0%" in text
+        assert MessageTimeline(wire_size=64).total_ns == 0.0
+
+    def test_phases_sorted_by_start_in_render_and_dict(self):
+        tl = MessageTimeline(wire_size=64, phases=[
+            Phase("late", 50.0, 80.0), Phase("early", 0.0, 50.0)])
+        assert [p["name"] for p in tl.to_dict()["phases"]] == [
+            "early", "late"]
+        lines = tl.render().splitlines()
+        assert "early" in lines[1] and "late" in lines[2]
