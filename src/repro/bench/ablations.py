@@ -27,7 +27,7 @@ from ..core.stdjams import (
     JAM_SS_SUM_NAIVE,
     JAM_TAG,
 )
-from ..core.stdworld import make_world
+from ..core.stdworld import shared_world
 from ..errors import ReproError
 from ..machine.hierarchy import HierarchyConfig
 from ..machine.pages import PROT_RW
@@ -49,7 +49,7 @@ def _series_at(r: FigureResult, series: str, x) -> float | None:
 
 def _adaptive_rate(messages: int):
     """Rate of the adaptive sender (inject 4x, then auto-switch local)."""
-    world = make_world()
+    world = shared_world()
     nb = 32
     fsize = world.frame_size_for("jam_indirect_put", nb, True)
     mb = world.server.create_mailbox(4, 8, fsize)
@@ -98,7 +98,7 @@ def _point_adaptive(mode: str, messages: int) -> dict:
         saved_pct = 100.0 * stats.wire_bytes_saved / (messages * fsize)
         injected_sends = stats.injected_sends
     else:
-        world = make_world()
+        world = shared_world()
         rate = am_injection_rate(world, "jam_indirect_put", 32,
                                  inject=(mode == "injected"),
                                  messages=messages).rate_mps
@@ -135,6 +135,7 @@ register(FigureSpec(
     directions={"rate_mps": "higher", "wire_saved_pct": "higher"},
     notes="adaptive injects 4x then switches to compact Local frames; "
           "message rate stays near injected while wire bytes drop >80%",
+    setup_key="std",
 ))
 
 
@@ -148,7 +149,7 @@ def _points_mailbox(fast: bool) -> list[dict]:
 
 
 def _point_mailbox(banks: int, slots: int, messages: int) -> dict:
-    world = make_world()
+    world = shared_world()
     rate = am_injection_rate(world, "jam_ss_sum", 64, messages=messages,
                              banks=banks, slots=slots).rate_mps
     return {"x": f"{banks}x{slots}", "rate_mps": rate,
@@ -177,6 +178,7 @@ register(FigureSpec(
     directions={"rate_mps": "higher"},
     notes="deeper mailboxes amortize the per-bank flow-control flag "
           "round-trip; a 1x1 mailbox serializes on it entirely",
+    setup_key="std",
 ))
 
 
@@ -188,7 +190,7 @@ def _multicore_rate(ncores: int, messages_per_core: int,
                     payload_bytes: int):
     from ..core.runtime import PreparedJam
 
-    world = make_world()
+    world = shared_world()
     engine = world.engine
     fsize = world.frame_size_for("jam_indirect_put", payload_bytes, True)
     pkg = world.client.packages[world.build.package_id]
@@ -266,6 +268,7 @@ register(FigureSpec(
     directions={"rate_mps": "higher"},
     notes="execution-bound at 4KB payloads: extra cores overlap message "
           "processing until the shared wire/sender binds",
+    setup_key="std",
 ))
 
 
@@ -286,7 +289,7 @@ def _points_prefetch(fast: bool) -> list[dict]:
 def _point_prefetch(stash: bool, prefetch: bool, payload_bytes: int,
                     warmup: int, iters: int) -> dict:
     cfg = HierarchyConfig(stash_enabled=stash, prefetch_enabled=prefetch)
-    world = make_world(hier_cfg=cfg)
+    world = shared_world(hier_cfg=cfg)
     p50 = am_pingpong(world, "jam_indirect_put", payload_bytes,
                       warmup=warmup, iters=iters).stats.p50
     return {"x": _PF_LABELS[(stash, prefetch)], "p50_ns": p50,
@@ -318,6 +321,9 @@ register(FigureSpec(
     directions={"p50_ns": "lower"},
     notes="with the prefetcher disabled, non-stashed large messages lose "
           "their latency mask and the stash advantage widens",
+    # Half its factorial builds the same worlds as figs 9-12, so share
+    # their group (reuse happens per world key, not per group).
+    setup_key="stash-pair",
 ))
 
 
@@ -336,7 +342,7 @@ def _point_security(mode: str, warmup: int, iters: int) -> dict:
         cfg = RuntimeConfig(sender_sets_gotp=False)
     elif mode == "split_wx":
         cfg = RuntimeConfig(split_code_pages=True)
-    world = make_world(server_cfg=cfg)
+    world = shared_world(server_cfg=cfg)
     world.client.cfg.sender_sets_gotp = cfg.sender_sets_gotp
     p50 = am_pingpong(world, "jam_ss_sum", 64, warmup=warmup,
                       iters=iters).stats.p50

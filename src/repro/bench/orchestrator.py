@@ -10,15 +10,26 @@ what actually changed.  Every run writes one versioned
 ``bench diff`` compares two result sets, flagging direction-aware
 regressions beyond a noise threshold.
 
+Scheduling is setup-aware (docs/ARCHITECTURE.md, "Performance
+engineering"): uncached points are grouped by their spec's
+``setup_key`` and each pool worker owns whole groups, so inside a group
+every point after the first forks the warm worlds the first point built
+(:mod:`repro.core.stdworld`'s setup cache) instead of repaying the
+build+link prefix.  Groups are ordered longest-expected-first (LPT,
+from the :class:`~.resultstore.TimingStore` history) so the slowest
+group cannot start last and stretch the tail of a parallel run.
+
 Results are deterministic: points are assembled in sweep order no matter
-which worker finished first, and everything host- or time-dependent
-lives under the payload's ``meta`` key.
+which worker finished first, forked worlds measure byte-identically to
+fresh ones (enforced by the fork determinism tests), and everything
+host- or time-dependent lives under the payload's ``meta`` key.
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import platform
 import sys
 import time
@@ -26,6 +37,7 @@ from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
 
+from ..core.stdworld import SETUP_CACHE
 from ..obs.attribution import phase_breakdown, phase_durations
 from ..obs.tracer import TRACER
 from ..perf import COUNTERS, throughput
@@ -34,6 +46,8 @@ from .figures import FigureResult, FigureSpec, assemble, full_registry
 from .report import bench_payload, render_figure
 from .resultstore import (
     ResultStore,
+    TimingStore,
+    canonical_json,
     code_version,
     git_sha,
 )
@@ -55,6 +69,11 @@ class PointRecord:
     # span-name -> [dur_ns, ...] captured while the point ran (None
     # unless the run was traced; see run_figures(trace=True))
     phases: dict | None = None
+    # world setup-cache activity while this point ran: forks of a warm
+    # pooled world vs fresh builds (both 0 for result-cache hits and
+    # fork-disabled runs)
+    setup_hits: int = 0
+    setup_misses: int = 0
 
 
 @dataclass
@@ -64,9 +83,18 @@ class FigureRun:
     spec: FigureSpec
     result: FigureResult
     points: list[PointRecord]
+    # Sum of per-point execution times — the work actually done for this
+    # figure this run.  Cached points contribute 0.
     wall_s: float
+    # End-to-end wall clock of the whole ``run_figures`` invocation that
+    # produced this run (shared by every figure of the invocation).
+    # Distinct from ``wall_s``: a fully cached sweep has wall_s == 0 but
+    # the invocation still took real time.
+    sweep_wall_s: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    setup_hits: int = 0
+    setup_misses: int = 0
 
     @property
     def sim_counters(self) -> dict:
@@ -103,19 +131,22 @@ def resolve_names(names: list[str] | None) -> list[str]:
 
 
 def _exec_point(task: tuple[str, dict, bool]
-                ) -> tuple[dict, float, dict, dict | None]:
-    """Pool worker: run one sweep point.
+                ) -> tuple[dict, float, dict, dict | None, int, int]:
+    """Run one sweep point in the current process.
 
-    Returns (row, elapsed seconds, SimCounters delta, phase durations).
-    Counters are process-wide, so the delta — not the absolute value — is
-    what ships back from pool workers; the parent sums deltas per figure.
-    With ``trace`` set the point runs under the structured tracer and the
-    span durations travel back as a plain name -> [dur_ns] dict (the
-    Tracer itself never crosses the process boundary).
+    Returns (row, elapsed seconds, SimCounters delta, phase durations,
+    setup-cache hits, setup-cache misses).  Counters are process-wide,
+    so the delta — not the absolute value — is what ships back from pool
+    workers; the parent sums deltas per figure.  With ``trace`` set the
+    point runs under the structured tracer and the span durations travel
+    back as a plain name -> [dur_ns] dict (the Tracer itself never
+    crosses the process boundary).
     """
     name, params, trace = task
     spec = full_registry()[name]
     before = COUNTERS.snapshot()
+    hits0, misses0 = SETUP_CACHE.counts()
+    SETUP_CACHE.begin_point()
     phases = None
     t0 = time.perf_counter()
     if trace:
@@ -125,26 +156,95 @@ def _exec_point(task: tuple[str, dict, bool]
     else:
         row = spec.point(**params)
     elapsed = time.perf_counter() - t0
-    return row, elapsed, COUNTERS.delta(before), phases
+    hits1, misses1 = SETUP_CACHE.counts()
+    return (row, elapsed, COUNTERS.delta(before), phases,
+            hits1 - hits0, misses1 - misses0)
+
+
+def _exec_group(task: tuple[list[tuple[str, dict, bool]], bool]
+                ) -> list[tuple[dict, float, dict, dict | None, int, int]]:
+    """Pool worker: run one setup-key group of sweep points, in order.
+
+    The whole group runs in this process with the world setup cache
+    enabled (unless ``fork`` is off), so every point after the first
+    forks the warm worlds its predecessors built instead of repaying
+    the build+link prefix.  The cache is torn down afterwards — pool
+    workers may process several groups and must not leak worlds between
+    them.
+    """
+    group, fork = task
+    if fork:
+        SETUP_CACHE.enabled = True
+        SETUP_CACHE.clear()
+    try:
+        return [_exec_point(t) for t in group]
+    finally:
+        SETUP_CACHE.enabled = False
+        SETUP_CACHE.clear()
+
+
+def resolve_jobs(jobs: int | str) -> int:
+    """Resolve a ``--jobs`` value; ``"auto"`` means one per CPU."""
+    if jobs == "auto":
+        return max(1, os.cpu_count() or 1)
+    n = int(jobs)
+    if n < 1:
+        raise ValueError(f"jobs must be >= 1, got {n}")
+    return n
+
+
+def _group_pending(pending: list[tuple[str, int]], plan_by_name: dict,
+                   registry: dict, trace: bool,
+                   timings: TimingStore | None
+                   ) -> list[list[tuple[str, dict, bool]]]:
+    """Bucket uncached points into setup-key groups, longest-first.
+
+    Group membership follows each spec's ``setup_key_for``; ordering is
+    LPT by the summed elapsed history of the group's points, with
+    never-measured groups first (their duration is unknown, so starting
+    them early bounds how badly they can stretch a parallel schedule —
+    and running them fills in the history).  Points keep sweep order
+    inside their group.
+    """
+    groups: dict[str, list[tuple[str, dict, bool]]] = {}
+    expected: dict[str, float] = {}
+    unknown: dict[str, bool] = {}
+    for name, i in pending:
+        params = plan_by_name[name][i]
+        gkey = canonical_json(registry[name].setup_key_for(params))
+        groups.setdefault(gkey, []).append((name, params, trace))
+        hist = timings.get(name, params) if timings else None
+        if hist is None:
+            unknown[gkey] = True
+        else:
+            expected[gkey] = expected.get(gkey, 0.0) + hist
+    return [groups[k] for k in sorted(
+        groups,
+        key=lambda k: (0 if unknown.get(k) else 1, -expected.get(k, 0.0), k))]
 
 
 def run_figures(names: list[str] | None = None, *, fast: bool = True,
-                smoke: bool = False, jobs: int = 1,
+                smoke: bool = False, jobs: int | str = 1,
                 store: ResultStore | None = None,
-                trace: bool = False,
+                trace: bool = False, fork: bool = True,
                 log=None) -> list[FigureRun]:
     """Run the requested sweeps, reusing cached points, fanning out misses.
 
     ``smoke`` keeps only the first point of every sweep (the CI target).
-    ``jobs`` > 1 runs uncached points in a process pool; assembly order
-    is always the sweep order, so parallel runs are bit-identical to
-    serial ones.  ``trace`` runs every point under the structured tracer
-    and attaches the per-phase span durations to its record; traced runs
-    skip cache *reads* (a cached row carries no spans) but still refresh
-    the store, and tracing never changes the measured rows.
+    ``jobs`` > 1 (or ``"auto"``) runs uncached work in a process pool;
+    assembly order is always the sweep order, so parallel runs are
+    bit-identical to serial ones.  Work is dispatched as whole setup-key
+    groups so same-setup points land on one worker and — with ``fork``
+    on — reuse each other's built worlds through the setup cache;
+    ``fork=False`` keeps the grouping but builds every world fresh.
+    ``trace`` runs every point under the structured tracer and attaches
+    the per-phase span durations to its record; traced runs skip cache
+    *reads* (a cached row carries no spans) but still refresh the store,
+    and tracing never changes the measured rows.
     """
     names = resolve_names(names)
     registry = full_registry()
+    jobs = resolve_jobs(jobs)
     t_start = time.perf_counter()
 
     plans: list[tuple[str, list[dict]]] = []
@@ -164,28 +264,46 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
             else:
                 pending.append((name, i))
 
+    plan_by_name = dict(plans)
+    timings = TimingStore(store.root) if store else None
+    group_tasks = _group_pending(pending, plan_by_name, registry, trace,
+                                 timings)
+
     if log and pending:
         log(f"bench: {sum(len(p) for _, p in plans)} points, "
-            f"{len(pending)} to run, jobs={jobs}"
-            + (", traced" if trace else ""))
+            f"{len(pending)} to run in {len(group_tasks)} setup group(s), "
+            f"jobs={jobs}"
+            + (", traced" if trace else "")
+            + ("" if fork else ", fork disabled"))
 
-    plan_by_name = dict(plans)
-    tasks = [(name, plan_by_name[name][i], trace) for name, i in pending]
-
-    if tasks:
-        if jobs > 1 and len(tasks) > 1:
-            with multiprocessing.Pool(min(jobs, len(tasks))) as pool:
-                outs = pool.map(_exec_point, tasks, chunksize=1)
+    if group_tasks:
+        payload = [(g, fork) for g in group_tasks]
+        if jobs > 1 and len(group_tasks) > 1:
+            with multiprocessing.Pool(min(jobs, len(group_tasks))) as pool:
+                group_outs = pool.map(_exec_group, payload, chunksize=1)
         else:
-            outs = [_exec_point(t) for t in tasks]
-        for (name, i), (row, elapsed, sim, phases) in zip(pending, outs):
+            group_outs = [_exec_group(t) for t in payload]
+        # Flatten back to per-point results keyed by (figure, params):
+        # groups reorder across figures, never within one sweep.
+        out_by_task: dict[str, tuple] = {}
+        for group, outs in zip(group_tasks, group_outs):
+            for (name, params, _trace), result in zip(group, outs):
+                out_by_task[canonical_json([name, params])] = result
+        for name, i in pending:
             params = plan_by_name[name][i]
+            row, elapsed, sim, phases, shits, smisses = out_by_task[
+                canonical_json([name, params])]
             key = store.key_for(name, params) if store else None
             if store:
                 store.put(key, name, params, row)
+            if timings is not None:
+                timings.record(name, params, elapsed)
             records[name][i] = PointRecord(params, row, False, key,
                                            elapsed_s=elapsed, sim=sim,
-                                           phases=phases)
+                                           phases=phases, setup_hits=shits,
+                                           setup_misses=smisses)
+        if timings is not None:
+            timings.save()
 
     runs: list[FigureRun] = []
     for name, points in plans:
@@ -198,17 +316,23 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
             wall_s=sum(r.elapsed_s for r in recs),
             cache_hits=sum(1 for r in recs if r.cached),
             cache_misses=sum(1 for r in recs if not r.cached),
+            setup_hits=sum(r.setup_hits for r in recs),
+            setup_misses=sum(r.setup_misses for r in recs),
         ))
     total_wall = time.perf_counter() - t_start
+    for run in runs:
+        run.sweep_wall_s = total_wall
     if log:
         hits = sum(r.cache_hits for r in runs)
         misses = sum(r.cache_misses for r in runs)
+        forks = sum(r.setup_hits for r in runs)
         log(f"bench: done in {total_wall:.1f}s "
-            f"({hits} cached, {misses} run)")
+            f"({hits} cached, {misses} run, {forks} world fork(s))")
     return runs
 
 
-def build_meta(*, fast: bool, smoke: bool, jobs: int) -> dict:
+def build_meta(*, fast: bool, smoke: bool, jobs: int,
+               trace: bool = False, fork: bool = True) -> dict:
     """Host/run metadata shared by every figure payload of one run.
 
     Everything here is allowed to differ between two otherwise identical
@@ -225,6 +349,8 @@ def build_meta(*, fast: bool, smoke: bool, jobs: int) -> dict:
         "fast": fast,
         "smoke": smoke,
         "jobs": jobs,
+        "trace": trace,
+        "fork": fork,
     }
 
 
@@ -237,8 +363,13 @@ def write_runs(runs: list[FigureRun], out_dir: str | Path,
     for run in runs:
         run_meta = dict(meta)
         run_meta["wall_clock_s"] = round(run.wall_s, 6)
+        run_meta["sweep_wall_s"] = round(run.sweep_wall_s, 6)
         run_meta["cache_hits"] = run.cache_hits
         run_meta["cache_misses"] = run.cache_misses
+        # World setup-cache activity: forked (warm) vs freshly built
+        # worlds while this figure's points executed.
+        run_meta["setup_cache"] = {"hits": run.setup_hits,
+                                   "misses": run.setup_misses}
         # Simulator throughput for the points actually executed (empty
         # when everything came from cache).  Lives in meta: it tracks
         # the simulator's own speed, not the simulated system's.
@@ -353,15 +484,20 @@ def wall_clock_diff_payloads(base: dict, new: dict,
 
 
 def diff_paths(base: str | Path, new: str | Path,
-               threshold_pct: float = 5.0, *,
+               threshold_pct: float | None = None, *,
                wall_clock: bool = False
                ) -> tuple[list[SeriesDiff], list[str]]:
     """Diff two BENCH files, or two directories of BENCH_*.json files.
 
     ``wall_clock=True`` compares simulator throughput metadata instead
-    of simulated series (see :func:`wall_clock_diff_payloads`).
+    of simulated series (see :func:`wall_clock_diff_payloads`).  When
+    ``threshold_pct`` is not given it defaults per mode: 5% for series
+    diffs, 20% for the (noisier) wall-clock throughput comparison —
+    matching the two underlying diff functions.
     Returns (series diffs, notes about unmatched figures).
     """
+    if threshold_pct is None:
+        threshold_pct = 20.0 if wall_clock else 5.0
     base, new = Path(base), Path(new)
     notes: list[str] = []
 

@@ -40,7 +40,6 @@ Subcommands mirror the toolchain a user of the real system would have:
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 
 from .core.install import (
@@ -188,6 +187,7 @@ def _cmd_bench_run(args) -> int:
     from .bench.orchestrator import (
         build_meta,
         render_runs_text,
+        resolve_jobs,
         resolve_names,
         run_figures,
         write_runs,
@@ -196,6 +196,7 @@ def _cmd_bench_run(args) -> int:
 
     try:
         names = resolve_names(args.figures or None)
+        jobs = resolve_jobs(args.jobs)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -204,11 +205,13 @@ def _cmd_bench_run(args) -> int:
         cache_dir = args.cache or f"{args.out}/.cache"
         store = ResultStore(cache_dir)
     fast = not args.full
-    runs = run_figures(names, fast=fast, smoke=args.smoke, jobs=args.jobs,
-                       store=store, trace=args.trace,
+    fork = not args.no_fork
+    runs = run_figures(names, fast=fast, smoke=args.smoke, jobs=jobs,
+                       store=store, trace=args.trace, fork=fork,
                        log=None if args.quiet else
                        (lambda m: print(m, file=sys.stderr)))
-    meta = build_meta(fast=fast, smoke=args.smoke, jobs=args.jobs)
+    meta = build_meta(fast=fast, smoke=args.smoke, jobs=jobs,
+                      trace=args.trace, fork=fork)
     paths = write_runs(runs, args.out, meta)
     if not args.quiet:
         print(render_runs_text(runs))
@@ -346,8 +349,9 @@ def make_parser() -> argparse.ArgumentParser:
     b.add_argument("figures", nargs="*", metavar="figN",
                    help="registered sweeps (default: all; "
                         "see 'bench list')")
-    b.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
-                   help="worker processes (default: all cores)")
+    b.add_argument("--jobs", default="auto",
+                   help="worker processes, or 'auto' for one per CPU "
+                        "(default: auto)")
     b.add_argument("--full", action="store_true",
                    help="full sweep axes (slower)")
     b.add_argument("--smoke", action="store_true",
@@ -362,6 +366,10 @@ def make_parser() -> argparse.ArgumentParser:
                    help="run every point under the structured tracer and "
                         "embed a phase_breakdown block in the result meta "
                         "(skips cache reads; rows are unchanged)")
+    b.add_argument("--no-fork", action="store_true",
+                   help="build every world fresh instead of forking warm "
+                        "setup-cache checkpoints (slower; rows are "
+                        "identical either way)")
     b.add_argument("--quiet", action="store_true",
                    help="suppress progress and text tables")
     b.set_defaults(fn=_cmd_bench_run)

@@ -60,6 +60,31 @@ class TwoChainsRuntime:
         # 8-byte scratch cell used for flag puts back to senders.
         self.flag_scratch = node.map_region(64, PROT_RW, label="flagscratch")
 
+    # -- checkpointing ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture runtime-level mutable state.  Node/HCA/engine state is
+        captured by their own snapshots (``World.snapshot`` composes
+        them); here only what the runtime itself owns: the loaded-package
+        set, the (mutable) RuntimeConfig fields, and the UCX worker and
+        endpoint bookkeeping.  Namespace/loader mutations after the
+        snapshot (``namespace.redefine`` + ``relink_package``) are NOT
+        captured — the setup cache never replays across such calls, and
+        the fork-vs-fresh determinism tests enforce that contract."""
+        return {
+            "packages": dict(self.packages),
+            "cfg": dict(vars(self.cfg)),
+            "worker": self.worker.snapshot(),
+            "ep": self.ep.snapshot(),
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.packages = dict(snap["packages"])
+        for name, value in snap["cfg"].items():
+            setattr(self.cfg, name, value)
+        self.worker.restore(snap["worker"])
+        self.ep.restore(snap["ep"])
+
     # -- setup ------------------------------------------------------------
 
     def load_package(self, build: PackageBuild) -> LoadedPackage:

@@ -40,13 +40,18 @@ from dataclasses import dataclass
 
 from ..errors import VmFault
 from ..machine.node import Node
+from ..machine.pages import PAGE_SIZE as _PAGE_SIZE, PROT_R as _PROT_R, \
+    PROT_W as _PROT_W, PROT_X as _PROT_X
 from ..obs.tracer import TRACER as _T, node_pid
 from ..perf import COUNTERS as _C
 from .encoding import decode_fields
 from .opcodes import Op
 from .registers import LR, NREGS, SP, ZR
 
+_PAGE_SHIFT = _PAGE_SIZE.bit_length() - 1
+
 MASK64 = (1 << 64) - 1
+_TWO64 = 1 << 64
 SIGN64 = 1 << 63
 
 # Addresses at and above this are native intrinsic entry points, not memory.
@@ -256,23 +261,164 @@ def _c_addi(cc, op, rd, rs1, rs2, imm, pc):
     return f
 
 
+# The remaining loop-body staples get the same treatment as ADDI: one
+# closure, operation inline, no per-execution value_fn call.
+
+def _c_add(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+    if rd == ZR:
+        return lambda vm, regs, ebox, now: nxt
+
+    def f(vm, regs, ebox, now):
+        regs[rd] = (regs[rs1] + regs[rs2]) & MASK64
+        return nxt
+    return f
+
+
+def _c_sub(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+    if rd == ZR:
+        return lambda vm, regs, ebox, now: nxt
+
+    def f(vm, regs, ebox, now):
+        regs[rd] = (regs[rs1] - regs[rs2]) & MASK64
+        return nxt
+    return f
+
+
+def _c_and(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+    if rd == ZR:
+        return lambda vm, regs, ebox, now: nxt
+
+    def f(vm, regs, ebox, now):
+        regs[rd] = regs[rs1] & regs[rs2]
+        return nxt
+    return f
+
+
+def _c_or(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+    if rd == ZR:
+        return lambda vm, regs, ebox, now: nxt
+
+    def f(vm, regs, ebox, now):
+        regs[rd] = regs[rs1] | regs[rs2]
+        return nxt
+    return f
+
+
+def _c_xor(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+    if rd == ZR:
+        return lambda vm, regs, ebox, now: nxt
+
+    def f(vm, regs, ebox, now):
+        regs[rd] = regs[rs1] ^ regs[rs2]
+        return nxt
+    return f
+
+
+def _c_shli(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+    if rd == ZR:
+        return lambda vm, regs, ebox, now: nxt
+    s = imm & 63
+
+    def f(vm, regs, ebox, now):
+        regs[rd] = (regs[rs1] << s) & MASK64
+        return nxt
+    return f
+
+
+def _c_shri(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+    if rd == ZR:
+        return lambda vm, regs, ebox, now: nxt
+    s = imm & 63
+
+    def f(vm, regs, ebox, now):
+        regs[rd] = regs[rs1] >> s
+        return nxt
+    return f
+
+
+def _c_andi(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+    if rd == ZR:
+        return lambda vm, regs, ebox, now: nxt
+    u = imm & MASK64
+
+    def f(vm, regs, ebox, now):
+        regs[rd] = regs[rs1] & u
+        return nxt
+    return f
+
+
+def _c_slti(cc, op, rd, rs1, rs2, imm, pc):
+    nxt = pc + 8
+    if rd == ZR:
+        return lambda vm, regs, ebox, now: nxt
+
+    def f(vm, regs, ebox, now):
+        a = regs[rs1]
+        if a & SIGN64:
+            a -= _TWO64
+        regs[rd] = 1 if a < imm else 0
+        return nxt
+    return f
+
+
 # -- loads ------------------------------------------------------------------
 
 def _load(size, read_fn):
     """Compiler factory for the load family.  ``read_fn(mem, addr)``
-    returns the (masked) register value."""
+    returns the (masked) register value.
+
+    The body open-codes the two dominant fast paths — a one-page
+    permission probe and a one-line L1D hit — with bit-identical
+    bookkeeping to ``PageTable.check_read`` / ``MemoryHierarchy.access``
+    (probe counter, hit count, LRU tick); anything unusual (page
+    straddle, denial, L1 miss, line straddle) falls back to the full
+    calls.  An L1D hit costs exactly ``l1_lat``, which the VM's CPI
+    already covers, so the hit path charges no time — same as before.
+    """
     def compiler(cc, op, rd, rs1, rs2, imm, pc):
         nxt = pc + 8
         mem, hier, pages, l1_lat = cc.mem, cc.hier, cc.pages, cc.l1_lat
+        prot, mem_size = pages.prot, pages.mem_size
+        l1d = hier.l1d
+        need = _PROT_R
+        size1 = size - 1
+        # Unchecked variant of read_fn: the in-bounds test it would do is
+        # folded into the fast-path guard below (``end <= mem_size``), so
+        # the accessor itself can skip it.  Same value, same faults.
+        fast_fn = _FAST_READS.get(read_fn, read_fn)
 
         def f(vm, regs, ebox, now):
             addr = (regs[rs1] + imm) & MASK64
+            end = addr + size
             if vm.check_pages:
-                pages.check_read(addr, size)
-            lat = hier.access(now + ebox[0], vm.core, addr, size, "read")
-            if lat > l1_lat:
-                ebox[0] += lat - l1_lat
-            value = read_fn(mem, addr)
+                page = addr >> _PAGE_SHIFT
+                if (end > mem_size or (end - 1) >> _PAGE_SHIFT != page
+                        or prot[page] & need != need):
+                    pages.check_read(addr, size)
+            line = addr >> 6
+            l1 = l1d[vm.core]
+            way = l1._map.get(line)
+            if way is not None and (addr + size1) >> 6 == line:
+                _C.cache_probes += 1
+                l1.hits += 1
+                l1._tick += 1
+                l1.lru[line & l1._set_mask][way] = l1._tick
+            else:
+                lat = hier.access(now + ebox[0], vm.core, addr, size, "read")
+                if lat > l1_lat:
+                    ebox[0] += lat - l1_lat
+            if end <= mem_size:  # addr is already masked non-negative
+                value = fast_fn(mem, addr)
+            else:
+                value = read_fn(mem, addr)  # out of range: checked path faults
             if rd != ZR:
                 regs[rd] = value
             return nxt
@@ -311,25 +457,97 @@ def _read_lbu(mem, addr):
     return mem.read_u8(addr)
 
 
+# Unchecked scalar readers for the compiled fast path: the caller proves
+# ``addr + size <= mem.size`` before dispatching here, so the bounds
+# check inside PhysicalMemory.read_* is pure overhead.  Values (and sign
+# extension) are identical to the checked counterparts.
+def _fast_ld(mem, addr):
+    return int.from_bytes(mem._mv[addr:addr + 8], "little")
+
+
+def _fast_lw(mem, addr):
+    value = int.from_bytes(mem._mv[addr:addr + 4], "little")
+    return (value - (1 << 32)) & MASK64 if value >= (1 << 31) else value
+
+
+def _fast_lwu(mem, addr):
+    return int.from_bytes(mem._mv[addr:addr + 4], "little")
+
+
+def _fast_lb(mem, addr):
+    value = mem._mv[addr]
+    return (value - (1 << 8)) & MASK64 if value >= (1 << 7) else value
+
+
+def _fast_lbu(mem, addr):
+    return mem._mv[addr]
+
+
+_FAST_READS = {
+    _read_ld: _fast_ld,
+    _read_lw: _fast_lw,
+    _read_lwu: _fast_lwu,
+    _read_lb: _fast_lb,
+    _read_lbu: _fast_lbu,
+}
+
+
 # -- stores -----------------------------------------------------------------
 
 def _store(size, write_fn):
-    """Compiler factory for the store family. ``write_fn(mem, addr, v)``."""
+    """Compiler factory for the store family. ``write_fn(mem, addr, v)``.
+
+    Open-codes the same fast paths as ``_load`` (one-page permission
+    probe, one-line L1D hit — which additionally sets the dirty bit,
+    as ``access`` does for writes); unusual cases take the full calls.
+    """
     def compiler(cc, op, rd, rs1, rs2, imm, pc):
         nxt = pc + 8
         mem, hier, pages, l1_lat = cc.mem, cc.hier, cc.pages, cc.l1_lat
         node = cc.node
+        prot, mem_size = pages.prot, pages.mem_size
+        l1d = hier.l1d
+        need = _PROT_W
+        size1 = size - 1
+        # Unchecked variant (bounds folded into the fast-path guard, as in
+        # the load family above).
+        fast_fn = _FAST_WRITES.get(write_fn, write_fn)
 
         def f(vm, regs, ebox, now):
             addr = (regs[rs1] + imm) & MASK64
+            end = addr + size
             if vm.check_pages:
-                pages.check_write(addr, size)
-            lat = hier.access(now + ebox[0], vm.core, addr, size, "write")
-            if lat > l1_lat:
-                ebox[0] += lat - l1_lat
-            write_fn(mem, addr, regs[rd])
-            if node._watch:
-                node.notify_write(addr, size)
+                page = addr >> _PAGE_SHIFT
+                if (end > mem_size or (end - 1) >> _PAGE_SHIFT != page
+                        or prot[page] & need != need):
+                    pages.check_write(addr, size)
+            line = addr >> 6
+            l1 = l1d[vm.core]
+            way = l1._map.get(line)
+            one_line = (addr + size1) >> 6 == line
+            if way is not None and one_line:
+                _C.cache_probes += 1
+                l1.hits += 1
+                l1._tick += 1
+                sidx = line & l1._set_mask
+                l1.lru[sidx][way] = l1._tick
+                l1.dirty[sidx][way] = True
+            else:
+                lat = hier.access(now + ebox[0], vm.core, addr, size, "write")
+                if lat > l1_lat:
+                    ebox[0] += lat - l1_lat
+            if end <= mem_size:  # addr is already masked non-negative
+                fast_fn(mem, addr, regs[rd])
+            else:
+                write_fn(mem, addr, regs[rd])  # checked path faults
+            w = node._watch
+            if w:
+                if one_line:  # scalar store hitting one monitor line
+                    ev = w.get(line)
+                    if ev is not None:
+                        ev.fire()
+                else:
+                    node.notify_write(addr, size)
             return nxt
         return f
     return compiler
@@ -351,6 +569,33 @@ def _write_sb(mem, addr, value):
     mem.write_u8(addr, value)
 
 
+# Unchecked scalar writers (see _FAST_READS): bounds proven by the
+# caller; the predecoded-code invalidation contract is preserved.
+def _fast_st(mem, addr, value):
+    mem._mv[addr:addr + 8] = (value & MASK64).to_bytes(8, "little")
+    if mem.code_lines:
+        mem._retire_code(addr, 8)
+
+
+def _fast_sw(mem, addr, value):
+    mem._mv[addr:addr + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+    if mem.code_lines:
+        mem._retire_code(addr, 4)
+
+
+def _fast_sb(mem, addr, value):
+    mem._mv[addr] = value & 0xFF
+    if mem.code_lines:
+        mem._retire_code(addr, 1)
+
+
+_FAST_WRITES = {
+    _write_st: _fast_st,
+    _write_sw: _fast_sw,
+    _write_sb: _fast_sb,
+}
+
+
 # -- control flow -----------------------------------------------------------
 
 def _c_b(cc, op, rd, rs1, rs2, imm, pc):
@@ -368,6 +613,64 @@ def _branch(taken_fn):
             return tgt if taken_fn(regs[rs1], regs[rs2]) else nxt
         return f
     return compiler
+
+
+# Branches sit in every loop back-edge, so the six compare ops are
+# open-coded instead of paying _branch's per-execution taken_fn call
+# (sign extension inlined too — same comparison _sx would produce).
+
+def _c_beq(cc, op, rd, rs1, rs2, imm, pc):
+    tgt = pc + imm
+    nxt = pc + 8
+    return lambda vm, regs, ebox, now: tgt if regs[rs1] == regs[rs2] else nxt
+
+
+def _c_bne(cc, op, rd, rs1, rs2, imm, pc):
+    tgt = pc + imm
+    nxt = pc + 8
+    return lambda vm, regs, ebox, now: tgt if regs[rs1] != regs[rs2] else nxt
+
+
+def _c_blt(cc, op, rd, rs1, rs2, imm, pc):
+    tgt = pc + imm
+    nxt = pc + 8
+
+    def f(vm, regs, ebox, now):
+        a = regs[rs1]
+        b = regs[rs2]
+        if a & SIGN64:
+            a -= _TWO64
+        if b & SIGN64:
+            b -= _TWO64
+        return tgt if a < b else nxt
+    return f
+
+
+def _c_bge(cc, op, rd, rs1, rs2, imm, pc):
+    tgt = pc + imm
+    nxt = pc + 8
+
+    def f(vm, regs, ebox, now):
+        a = regs[rs1]
+        b = regs[rs2]
+        if a & SIGN64:
+            a -= _TWO64
+        if b & SIGN64:
+            b -= _TWO64
+        return tgt if a >= b else nxt
+    return f
+
+
+def _c_bltu(cc, op, rd, rs1, rs2, imm, pc):
+    tgt = pc + imm
+    nxt = pc + 8
+    return lambda vm, regs, ebox, now: tgt if regs[rs1] < regs[rs2] else nxt
+
+
+def _c_bgeu(cc, op, rd, rs1, rs2, imm, pc):
+    tgt = pc + imm
+    nxt = pc + 8
+    return lambda vm, regs, ebox, now: tgt if regs[rs1] >= regs[rs2] else nxt
 
 
 def _c_call(cc, op, rd, rs1, rs2, imm, pc):
@@ -454,13 +757,13 @@ _COMPILERS: list = [_c_illegal] * 256
 for _op, _compiler in {
     Op.NOP: _c_nop, Op.HALT: _c_halt, Op.WFE: _c_wfe, Op.SEV: _c_sev,
     Op.MOVI: _c_movi, Op.MOVHI: _c_movhi, Op.MOV: _c_mov, Op.ADR: _c_adr,
-    Op.ADD: _rr(lambda a, b: (a + b) & MASK64),
-    Op.SUB: _rr(lambda a, b: (a - b) & MASK64),
+    Op.ADD: _c_add,
+    Op.SUB: _c_sub,
     Op.MUL: _rr(lambda a, b: (a * b) & MASK64),
     Op.DIV: _c_div, Op.REM: _c_rem,
-    Op.AND: _rr(lambda a, b: a & b),
-    Op.OR: _rr(lambda a, b: a | b),
-    Op.XOR: _rr(lambda a, b: a ^ b),
+    Op.AND: _c_and,
+    Op.OR: _c_or,
+    Op.XOR: _c_xor,
     Op.SHL: _rr(lambda a, b: (a << (b & 63)) & MASK64),
     Op.SHR: _rr(lambda a, b: a >> (b & 63)),
     Op.SAR: _rr(lambda a, b: (_sx(a) >> (b & 63)) & MASK64),
@@ -468,13 +771,13 @@ for _op, _compiler in {
     Op.SLTU: _rr(lambda a, b: 1 if a < b else 0),
     Op.ADDI: _c_addi,
     Op.MULI: _ri(lambda imm: lambda a: (a * imm) & MASK64),
-    Op.ANDI: _ri(lambda imm: lambda a, _u=imm & MASK64: a & _u),
+    Op.ANDI: _c_andi,
     Op.ORI: _ri(lambda imm: lambda a, _u=imm & MASK64: a | _u),
     Op.XORI: _ri(lambda imm: lambda a, _u=imm & MASK64: a ^ _u),
-    Op.SHLI: _ri(lambda imm: lambda a, _s=imm & 63: (a << _s) & MASK64),
-    Op.SHRI: _ri(lambda imm: lambda a, _s=imm & 63: a >> _s),
+    Op.SHLI: _c_shli,
+    Op.SHRI: _c_shri,
     Op.SARI: _ri(lambda imm: lambda a, _s=imm & 63: (_sx(a) >> _s) & MASK64),
-    Op.SLTI: _ri(lambda imm: lambda a: 1 if _sx(a) < imm else 0),
+    Op.SLTI: _c_slti,
     Op.LD: _load(8, _read_ld), Op.LW: _load(4, _read_lw),
     Op.LWU: _load(4, _read_lwu), Op.LH: _load(2, _read_lh),
     Op.LHU: _load(2, _read_lhu), Op.LB: _load(1, _read_lb),
@@ -482,12 +785,12 @@ for _op, _compiler in {
     Op.ST: _store(8, _write_st), Op.SW: _store(4, _write_sw),
     Op.SH: _store(2, _write_sh), Op.SB: _store(1, _write_sb),
     Op.B: _c_b,
-    Op.BEQ: _branch(lambda a, b: a == b),
-    Op.BNE: _branch(lambda a, b: a != b),
-    Op.BLT: _branch(lambda a, b: _sx(a) < _sx(b)),
-    Op.BGE: _branch(lambda a, b: _sx(a) >= _sx(b)),
-    Op.BLTU: _branch(lambda a, b: a < b),
-    Op.BGEU: _branch(lambda a, b: a >= b),
+    Op.BEQ: _c_beq,
+    Op.BNE: _c_bne,
+    Op.BLT: _c_blt,
+    Op.BGE: _c_bge,
+    Op.BLTU: _c_bltu,
+    Op.BGEU: _c_bgeu,
     Op.CALL: _c_call, Op.CALLR: _c_callr, Op.RET: _c_ret, Op.JR: _c_jr,
     Op.LDG: _c_ldg, Op.LDGI: _c_ldgi,
 }.items():
@@ -607,6 +910,15 @@ class Vm:
         get_slots = code_lines.get
         access_line = hier.access_line
         check_exec = pages.check_exec
+        # Line-transition fast path locals: the exec-permission probe and
+        # the sequential L1I hit are open-coded below with the exact
+        # bookkeeping of PageTable._check / access_line's inline path;
+        # anything unusual falls back to the full calls.
+        prot = pages.prot
+        last_if = hier._last_ifetch
+        l1i = hier.l1i[core]
+        l1i_map = l1i._map
+        l1_lat = hier._l1_lat
 
         while pc != RETURN_SENTINEL:
             if steps >= max_steps:
@@ -618,8 +930,24 @@ class Vm:
                 if pc < 0 or pc + 8 > mem_size:
                     raise VmFault("instruction fetch out of memory", pc=pc)
                 if check:
-                    check_exec(pc, 8)
-                ebox[0] += access_line(now + ebox[0], core, line, "ifetch")
+                    page = pc >> _PAGE_SHIFT
+                    if ((pc + 7) >> _PAGE_SHIFT != page
+                            or prot[page] & _PROT_X != _PROT_X):
+                        check_exec(pc, 8)
+                if line == last_if[core] + 1:
+                    way = l1i_map.get(line)
+                    if way is not None:
+                        _C.cache_probes += 1
+                        last_if[core] = line
+                        l1i.hits += 1
+                        l1i._tick += 1
+                        l1i.lru[line & l1i._set_mask][way] = l1i._tick
+                        ebox[0] += l1_lat
+                    else:
+                        ebox[0] += access_line(now + ebox[0], core, line,
+                                               "ifetch")
+                else:
+                    ebox[0] += access_line(now + ebox[0], core, line, "ifetch")
                 cur_line = line
             steps += 1
             ebox[0] += CPI_NS

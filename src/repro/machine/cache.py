@@ -168,6 +168,27 @@ class SetAssocCache:
         self._map.clear()
         return ndirty
 
+    def snapshot(self) -> tuple:
+        """Full replacement-state capture (tags/LRU/dirty/stats)."""
+        return (
+            {s: row[:] for s, row in self.tags.items()},
+            {s: row[:] for s, row in self.lru.items()},
+            {s: row[:] for s, row in self.dirty.items()},
+            dict(self._map),
+            self._tick, self.hits, self.misses, self.evictions,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        tags, lru, dirty, amap, tick, hits, misses, evictions = snap
+        self.tags = {s: row[:] for s, row in tags.items()}
+        self.lru = {s: row[:] for s, row in lru.items()}
+        self.dirty = {s: row[:] for s, row in dirty.items()}
+        self._map = dict(amap)
+        self._tick = tick
+        self.hits = hits
+        self.misses = misses
+        self.evictions = evictions
+
     @property
     def occupancy(self) -> int:
         return len(self._map)

@@ -66,6 +66,12 @@ class Dram:
         """Used by the stress-workload model: steal channel time."""
         self.busy_until = max(now, self.busy_until) + ns
 
+    def snapshot(self) -> tuple:
+        return self.busy_until, self.lines_moved, self.queue_ns_total
+
+    def restore(self, snap: tuple) -> None:
+        self.busy_until, self.lines_moved, self.queue_ns_total = snap
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Dram(lines={self.lines_moved}, busy_until={self.busy_until:.1f})"

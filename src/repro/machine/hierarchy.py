@@ -78,9 +78,16 @@ class MemoryHierarchy:
         self.prefetchers = [StridePrefetcher(enabled=cfg.prefetch_enabled) for _ in range(n)]
         # per-core last instruction-fetch line (next-line I-prefetch state)
         self._last_ifetch = [-2] * n
-        # hot-path constant: plain float attribute, so the L1-hit fast
-        # path in access_line never chases self.cfg
+        # hot-path constants: plain float attributes, so the L1-hit fast
+        # path in access_line and the per-line stream path never chase
+        # self.cfg (these are all fixed at construction)
         self._l1_lat = cfg.l1_lat
+        self._stream_ns = cfg.stream_line_ns
+        self._stream_l2_ns = cfg.stream_line_ns + 0.4
+        self._stream_l3_ns = cfg.stream_line_ns + 1.2
+        self._stream_llc_ns = max(cfg.stream_line_ns, cfg.llc_lat / 6.0)
+        self._stream_covered_ns = max(self.dram.service_per_line_ns,
+                                      cfg.stream_line_ns)
         # stats
         self.dma_stash_lines = 0
         self.dma_dram_lines = 0
@@ -102,16 +109,18 @@ class MemoryHierarchy:
         time, in eviction order, so the DRAM ledger floats match the
         per-call formulation exactly.
         """
+        d = dirty  # only the L1 level installs dirty; cleared after it
+        dram = self.dram
         for cache in (l1, self.l2[core], self.l3[core >> 1], self.llc):
             m = cache._map
             cache._tick = tick = cache._tick + 1
             sidx = line & cache._set_mask
             way = m.get(line)
-            d = dirty and cache is l1
             if way is not None:  # refresh (typical for the LLC level)
                 cache.lru[sidx][way] = tick
                 if d:
                     cache.dirty[sidx][way] = True
+                    d = False
                 continue
             row = cache.tags.get(sidx)
             if row is None:
@@ -119,20 +128,22 @@ class MemoryHierarchy:
                 row = cache.tags[sidx] = [-1] * w
                 cache.lru[sidx] = [0] * w
                 cache.dirty[sidx] = [False] * w
-            if -1 in row:
+                way = 0  # fresh set: every way is free
+            elif -1 in row:
                 way = row.index(-1)
             else:
                 lru_row = cache.lru[sidx]
                 way = lru_row.index(min(lru_row))
                 old_line = row[way]
                 if cache.dirty[sidx][way]:
-                    self.dram.charge_bandwidth(now, 1)
+                    dram.charge_bandwidth(now, 1)
                 del m[old_line]
                 cache.evictions += 1
             row[way] = line
             m[line] = way
             cache.lru[sidx][way] = tick
             cache.dirty[sidx][way] = d
+            d = False
 
     # ------------------------------------------------------------------
     def access_line(self, now: float, core: int, line: int, kind: str) -> float:
@@ -220,9 +231,15 @@ class MemoryHierarchy:
                            now, {"kind": kind})
             return cfg.l2_lat
         l2.misses += 1
-        l3 = self.l3[self._cluster(core)]
-        if l3.access(line, False):
-            ev = self.l2[core].install(line)
+        # Inline L3/LLC probes, as in _stream_line: demand misses that
+        # reach this depth walk both probes on the way to DRAM.
+        l3 = self.l3[core >> 1]
+        way = l3._map.get(line)
+        if way is not None:
+            l3.hits += 1
+            l3._tick += 1
+            l3.lru[line & l3._set_mask][way] = l3._tick
+            ev = l2.install(line)
             if ev is not None and ev[1]:
                 self._writeback(now, ev[0])
             l1.install(line, dirty=write)
@@ -230,12 +247,19 @@ class MemoryHierarchy:
                 _T.instant(node_pid(self.node_id), core, "cache.miss.l3",
                            now, {"kind": kind})
             return cfg.l2_lat + (cfg.l3_lat - cfg.l2_lat)
-        if self.llc.access(line, False):
+        l3.misses += 1
+        llc = self.llc
+        way = llc._map.get(line)
+        if way is not None:
+            llc.hits += 1
+            llc._tick += 1
+            llc.lru[line & llc._set_mask][way] = llc._tick
             self._install_path(now, core, line, l1, write)
             if _T.enabled:
                 _T.instant(node_pid(self.node_id), core, "cache.miss.llc",
                            now, {"kind": kind})
             return cfg.llc_lat
+        llc.misses += 1
         # Miss all the way to DRAM.
         covered = self.prefetchers[core].observe_miss(line)
         self._install_path(now, core, line, l1, write)
@@ -296,7 +320,6 @@ class MemoryHierarchy:
 
     def _stream_line(self, now: float, core: int, line: int, kind: str) -> float:
         _C.cache_probes += 1
-        cfg = self.cfg
         write = kind == "write"
         l1 = self.l1d[core]
         # inline L1D hit (dominant once a stream is warm), as in access_line
@@ -308,27 +331,48 @@ class MemoryHierarchy:
             l1.lru[sidx][way] = l1._tick
             if write:
                 l1.dirty[sidx][way] = True
-            return cfg.stream_line_ns
+            return self._stream_ns
         l1.misses += 1
-        if self.l2[core].access(line, False):
+        # Inline the L2/L3/LLC probes (SetAssocCache.access bodies, hit
+        # and miss bookkeeping included) — on a cold streamed payload
+        # every line walks this whole chain, so the three delegation
+        # calls are pure dispatch overhead.
+        l2 = self.l2[core]
+        way = l2._map.get(line)
+        if way is not None:
+            l2.hits += 1
+            l2._tick += 1
+            l2.lru[line & l2._set_mask][way] = l2._tick
             l1.install(line, dirty=write)
-            return cfg.stream_line_ns + 0.4
-        l3 = self.l3[self._cluster(core)]
-        if l3.access(line, False):
+            return self._stream_l2_ns
+        l2.misses += 1
+        l3 = self.l3[core >> 1]
+        way = l3._map.get(line)
+        if way is not None:
+            l3.hits += 1
+            l3._tick += 1
+            l3.lru[line & l3._set_mask][way] = l3._tick
             l1.install(line, dirty=write)
-            self.l2[core].install(line)
-            return cfg.stream_line_ns + 1.2
-        if self.llc.access(line, False):
+            l2.install(line)
+            return self._stream_l3_ns
+        l3.misses += 1
+        llc = self.llc
+        way = llc._map.get(line)
+        if way is not None:
+            llc.hits += 1
+            llc._tick += 1
+            llc.lru[line & llc._set_mask][way] = llc._tick
             self._install_path(now, core, line, l1, write)
             # LLC streaming reads are pipelined; pay a fraction of the
             # load-to-use latency per line.
-            return max(cfg.stream_line_ns, cfg.llc_lat / 6.0)
+            return self._stream_llc_ns
+        llc.misses += 1
         covered = self.prefetchers[core].observe_miss(line)
         self._install_path(now, core, line, l1, write)
         self.demand_dram_lines += 1
         if covered:
             self.dram.charge_bandwidth(now, 1)
-            return max(self.dram.service_per_line_ns, cfg.stream_line_ns)
+            return self._stream_covered_ns
         return self.dram.access(now, 1)
 
     # ------------------------------------------------------------------
@@ -347,10 +391,42 @@ class MemoryHierarchy:
         self._snoop_invalidate(lines, owner_core)
         if self.cfg.stash_enabled:
             self.dma_stash_lines += len(lines)
+            # Inline SetAssocCache.install for the LLC fill loop (every
+            # payload line passes through here when stashing is on);
+            # dirty evictions charge the DRAM ledger exactly as before.
+            llc = self.llc
+            m, tags, lru, dirty = llc._map, llc.tags, llc.lru, llc.dirty
+            mask = llc._set_mask
+            charge = self.dram.charge_bandwidth
             for line in lines:
-                ev = self.llc.install(line, dirty=True)
-                if ev is not None and ev[1]:
-                    self._writeback(now, ev[0])
+                llc._tick = tick = llc._tick + 1
+                sidx = line & mask
+                way = m.get(line)
+                if way is not None:  # refresh
+                    lru[sidx][way] = tick
+                    dirty[sidx][way] = True
+                    continue
+                row = tags.get(sidx)
+                if row is None:
+                    w = llc.ways
+                    row = tags[sidx] = [-1] * w
+                    lru[sidx] = [0] * w
+                    dirty[sidx] = [False] * w
+                    way = 0  # fresh set: every way is free
+                elif -1 in row:
+                    way = row.index(-1)
+                else:
+                    lru_row = lru[sidx]
+                    way = lru_row.index(min(lru_row))
+                    old_line = row[way]
+                    if dirty[sidx][way]:
+                        charge(now, 1)
+                    del m[old_line]
+                    llc.evictions += 1
+                row[way] = line
+                m[line] = way
+                lru[sidx][way] = tick
+                dirty[sidx][way] = True
             # LLC fill crosses the NOC at interconnect speed: ~64B/cycle at
             # 1.6 GHz -> 0.625ns/line; generous but the NOC is not the
             # bottleneck in this system.
@@ -384,24 +460,54 @@ class MemoryHierarchy:
             caches += self.l3
         else:
             caches.append(self.l3[self._cluster(owner_core)])
-        # >90% of snooped lines are resident nowhere: intersect the DMA
-        # line set against each cache's resident map at C speed and only
-        # touch actual residents (drop without write-back — matches the
-        # previous unconditional-invalidate behavior).
-        line_set = set(lines)
+        # >90% of snooped lines are resident nowhere: probe each DMA line
+        # against the resident map directly (the DMA span is small, the
+        # map is not) and only touch actual residents (drop without
+        # write-back — matches the previous unconditional-invalidate
+        # behavior).
         for cache in caches:
-            resident = line_set & cache._map.keys()
-            if not resident:
-                continue
             cmap = cache._map
-            tags, lru, dirty = cache.tags, cache.lru, cache.dirty
+            if not cmap:
+                continue
             mask = cache._set_mask
-            for line in resident:
-                way = cmap.pop(line)
-                sidx = line & mask
-                tags[sidx][way] = -1
-                dirty[sidx][way] = False
-                lru[sidx][way] = 0
+            for line in lines:
+                if line in cmap:
+                    way = cmap.pop(line)
+                    sidx = line & mask
+                    cache.tags[sidx][way] = -1
+                    cache.dirty[sidx][way] = False
+                    cache.lru[sidx][way] = 0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture every cache level, DRAM ledger, prefetchers, and stats."""
+        return {
+            "l1i": [c.snapshot() for c in self.l1i],
+            "l1d": [c.snapshot() for c in self.l1d],
+            "l2": [c.snapshot() for c in self.l2],
+            "l3": [c.snapshot() for c in self.l3],
+            "llc": self.llc.snapshot(),
+            "dram": self.dram.snapshot(),
+            "prefetchers": [p.snapshot() for p in self.prefetchers],
+            "last_ifetch": list(self._last_ifetch),
+            "dma_stash_lines": self.dma_stash_lines,
+            "dma_dram_lines": self.dma_dram_lines,
+            "demand_dram_lines": self.demand_dram_lines,
+        }
+
+    def restore(self, snap: dict) -> None:
+        for group, snaps in (("l1i", snap["l1i"]), ("l1d", snap["l1d"]),
+                             ("l2", snap["l2"]), ("l3", snap["l3"])):
+            for cache, s in zip(getattr(self, group), snaps):
+                cache.restore(s)
+        self.llc.restore(snap["llc"])
+        self.dram.restore(snap["dram"])
+        for pf, s in zip(self.prefetchers, snap["prefetchers"]):
+            pf.restore(s)
+        self._last_ifetch = list(snap["last_ifetch"])
+        self.dma_stash_lines = snap["dma_stash_lines"]
+        self.dma_dram_lines = snap["dma_dram_lines"]
+        self.demand_dram_lines = snap["demand_dram_lines"]
 
     # ------------------------------------------------------------------
     def flush_all(self) -> None:

@@ -73,7 +73,10 @@ class PhysicalMemory:
     def write(self, addr: int, payload: bytes | bytearray | memoryview) -> None:
         length = len(payload)
         self._check(addr, length)
-        self.data[addr : addr + length] = np.frombuffer(payload, dtype=np.uint8)
+        # mv slice assignment accepts any contiguous bytes-like and skips
+        # the frombuffer wrapper — measurably cheaper for the small
+        # payloads (headers, descriptors) that dominate this path
+        self._mv[addr : addr + length] = payload
         if self.code_lines:
             self._retire_code(addr, length)
 
@@ -121,6 +124,36 @@ class PhysicalMemory:
 
     def write_i64(self, addr: int, value: int) -> None:
         self.write_u64(addr, value & 0xFFFFFFFFFFFFFFFF)
+
+    # checkpointing -------------------------------------------------------
+    def snapshot(self, upto: int | None = None) -> tuple[int, bytes]:
+        """Capture memory contents for a later :meth:`restore`.
+
+        ``upto`` bounds the copy: callers that know the high-water mark of
+        writes (the bump-allocator cursor) pass it so the snapshot covers
+        only the touched prefix, not the whole (mostly zero) array.
+        """
+        upto = self.size if upto is None else upto
+        if upto < 0 or upto > self.size:
+            raise MachineError(f"snapshot bound {upto:#x} outside memory")
+        return upto, self.data[:upto].tobytes()
+
+    def restore(self, snap: tuple[int, bytes], dirty_upto: int | None = None
+                ) -> None:
+        """Rewind contents to a snapshot.
+
+        ``dirty_upto`` is the current write high-water mark: bytes between
+        the snapshot bound and it are zeroed (they were allocated after
+        the snapshot and must read as fresh zeros again).  The predecoded
+        ``code_lines`` cache is dropped wholesale — this path bypasses
+        the per-write ``_retire_code`` invalidation contract.
+        """
+        upto, blob = snap
+        self.data[:upto] = np.frombuffer(blob, dtype=np.uint8)
+        end = self.size if dirty_upto is None else min(dirty_upto, self.size)
+        if end > upto:
+            self.data[upto:end] = 0
+        self.code_lines.clear()
 
     # vector views --------------------------------------------------------
     def view_i64(self, addr: int, count: int) -> np.ndarray:
@@ -170,3 +203,9 @@ class BumpAllocator:
 
     def reset(self) -> None:
         self.cursor = self.base
+
+    def snapshot(self) -> int:
+        return self.cursor
+
+    def restore(self, snap: int) -> None:
+        self.cursor = snap

@@ -9,6 +9,7 @@ preemption state are observed consistently.
 
 from __future__ import annotations
 
+from ..errors import SimulationError
 from ..sim.clock import CPU_CLOCK
 from ..sim.engine import Engine, Event
 from ..sim.trace import Scoreboard
@@ -94,6 +95,47 @@ class Node:
             for line, ev in list(self._watch.items()):
                 if first <= line <= last:
                     ev.fire()
+
+    # -- checkpointing --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the node's full mutable state (memory up to the
+        allocator cursor, pages, hierarchy, scoreboard, monitors,
+        preemption).  Requires quiescence: a WFE monitor with parked
+        waiters references live processes that cannot survive a rewind."""
+        for line, ev in self._watch.items():
+            if ev._waiters:
+                raise SimulationError(
+                    f"node {self.node_id} checkpoint: WFE monitor on line "
+                    f"{line:#x} has {len(ev._waiters)} parked waiter(s)")
+        return {
+            "cursor": self.alloc.cursor,
+            "mem": self.mem.snapshot(self.alloc.cursor),
+            "prot": self.pages.snapshot(),
+            "hier": self.hier.snapshot(),
+            "board": self.board.checkpoint(),
+            "watch": {line: (ev, ev.fire_count)
+                      for line, ev in self._watch.items()},
+            "preempt": list(self.preempt_until),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Rewind to a snapshot.  Monitors created after the snapshot are
+        dropped (their events — and any dead processes parked on them —
+        become garbage); kept monitors lose post-snapshot waiters and
+        rewind their fire counts.  Memory written beyond the snapshot
+        cursor is re-zeroed before the allocator itself rewinds."""
+        self.mem.restore(snap["mem"], dirty_upto=self.alloc.cursor)
+        self.alloc.cursor = snap["cursor"]
+        self.pages.restore(snap["prot"])
+        self.hier.restore(snap["hier"])
+        self.board.restore(snap["board"])
+        self._watch = {}
+        for line, (ev, fire_count) in snap["watch"].items():
+            ev._waiters.clear()
+            ev.fire_count = fire_count
+            self._watch[line] = ev
+        self.preempt_until = list(snap["preempt"])
 
     # -- preemption (stress workload) ----------------------------------------
 

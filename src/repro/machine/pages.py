@@ -47,6 +47,12 @@ class PageTable:
         last = (addr + length - 1) // PAGE_SIZE
         self.prot[first : last + 1] = bytes([prot & 0xFF]) * (last + 1 - first)
 
+    def snapshot(self) -> bytes:
+        return bytes(self.prot)
+
+    def restore(self, snap: bytes) -> None:
+        self.prot[:] = snap
+
     def prot_of(self, addr: int) -> int:
         if addr < 0 or addr >= self.mem_size:
             raise MemoryFault(f"address out of range: {addr:#x}", addr=addr)

@@ -91,3 +91,14 @@ class StridePrefetcher:
     def reset(self) -> None:
         for s in self.streams:
             s.last_line, s.stride, s.confidence, s.tick = -1, 0, 0, 0
+
+    def snapshot(self) -> tuple:
+        return ([(s.last_line, s.stride, s.confidence, s.tick)
+                 for s in self.streams], self._tick, self.trained_hits)
+
+    def restore(self, snap: tuple) -> None:
+        rows, tick, trained = snap
+        for s, row in zip(self.streams, rows):
+            s.last_line, s.stride, s.confidence, s.tick = row
+        self._tick = tick
+        self.trained_hits = trained

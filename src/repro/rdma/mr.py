@@ -69,6 +69,16 @@ class MrTable:
         self._by_rkey[rkey] = mr
         return mr
 
+    def snapshot(self) -> tuple:
+        """Capture registration state.  The counter matters for identity:
+        rkeys hash it, so a restored table must hand out the same rkey
+        sequence a fresh table would."""
+        return self._counter, dict(self._by_rkey)
+
+    def restore(self, snap: tuple) -> None:
+        self._counter, by_rkey = snap
+        self._by_rkey = dict(by_rkey)
+
     def deregister(self, mr: MemoryRegion) -> None:
         self._by_rkey.pop(mr.rkey, None)
 

@@ -61,6 +61,15 @@ class Hca:
         self.bytes_tx = 0
         self.bytes_rx = 0
 
+    def snapshot(self) -> tuple:
+        return (self.mrs.snapshot(), self.tx_busy_until, self.rx_busy_until,
+                self.bytes_tx, self.bytes_rx)
+
+    def restore(self, snap: tuple) -> None:
+        mrs, self.tx_busy_until, self.rx_busy_until, \
+            self.bytes_tx, self.bytes_rx = snap
+        self.mrs.restore(mrs)
+
     def register_memory(self, addr: int, length: int,
                         access: Access = Access.REMOTE_READ | Access.REMOTE_WRITE
                         ) -> MemoryRegion:
@@ -80,6 +89,12 @@ class QueuePair:
         self._last_delivery = 0.0   # in-order delivery horizon
         self.puts_posted = 0
         self.puts_failed = 0
+
+    def snapshot(self) -> tuple:
+        return self._last_delivery, self.puts_posted, self.puts_failed
+
+    def restore(self, snap: tuple) -> None:
+        self._last_delivery, self.puts_posted, self.puts_failed = snap
 
     # -- timing helpers -----------------------------------------------------
 

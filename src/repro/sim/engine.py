@@ -217,6 +217,36 @@ class Engine:
             _C.des_events += executed
             _C.sim_ns += self.now - t_start
 
+    # -- checkpointing ----------------------------------------------------
+
+    @property
+    def quiescent(self) -> bool:
+        """True when nothing is scheduled and the loop is not running —
+        the only state a world checkpoint is allowed in."""
+        return not self._heap and not self._running
+
+    def snapshot(self) -> tuple[float, int]:
+        """Capture (now, seq).  Checkpoints must be quiescent: a pending
+        callback cannot be serialized (it closes over live model objects),
+        so a non-empty queue is a hard error, not a silent approximation."""
+        if not self.quiescent:
+            raise SimulationError(
+                f"engine checkpoint requires quiescence: "
+                f"{len(self._heap)} pending callback(s), "
+                f"running={self._running}")
+        return self.now, self._seq
+
+    def restore(self, snap: tuple[float, int]) -> None:
+        """Rewind the clock to a snapshot; same quiescence bar as
+        :meth:`snapshot` (restoring under pending work would strand it
+        in a future that no longer exists)."""
+        if not self.quiescent:
+            raise SimulationError(
+                f"engine restore requires quiescence: "
+                f"{len(self._heap)} pending callback(s), "
+                f"running={self._running}")
+        self.now, self._seq = snap
+
     def run_process(self, body: ProcessBody, name: str = "main",
                     until: float | None = None) -> Any:
         """Spawn ``body`` and run the loop until it finishes; returns its

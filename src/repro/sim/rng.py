@@ -9,6 +9,7 @@ reproducibility.
 
 from __future__ import annotations
 
+import copy
 import hashlib
 
 import numpy as np
@@ -40,6 +41,20 @@ class RngPool:
 
     def issued_names(self) -> list[str]:
         return sorted(self._issued)
+
+    def snapshot(self) -> dict[str, object]:
+        """Capture every issued stream's bit-generator state."""
+        return {name: copy.deepcopy(gen.bit_generator.state)
+                for name, gen in self._issued.items()}
+
+    def restore(self, snap: dict[str, object]) -> None:
+        """Rewind streams to a snapshot.  Streams issued after the
+        snapshot are dropped entirely, so a restored pool re-derives them
+        from (seed, name) exactly as a fresh pool would."""
+        for name in [n for n in self._issued if n not in snap]:
+            del self._issued[name]
+        for name, state in snap.items():
+            self.child(name).bit_generator.state = copy.deepcopy(state)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"RngPool(seed={self.master_seed}, issued={len(self._issued)})"

@@ -65,6 +65,20 @@ class Scoreboard:
         """Copy of the counters; used for interval deltas."""
         return dict(self.counters)
 
+    def checkpoint(self) -> tuple:
+        """Full state capture (counters AND samples) for :meth:`restore`;
+        unlike :meth:`snapshot` (counters only, for deltas) this supports
+        rewinding the board to an earlier point in time."""
+        return dict(self.counters), {k: v[:] for k, v in self.samples.items()}
+
+    def restore(self, state: tuple) -> None:
+        counters, samples = state
+        self.counters.clear()
+        self.counters.update(counters)
+        self.samples.clear()
+        for name, values in samples.items():
+            self.samples[name] = values[:]
+
     def delta_since(self, snap: dict[str, int]) -> dict[str, int]:
         out = {}
         for name, value in self.counters.items():

@@ -98,6 +98,12 @@ class UcpWorker:
             raise UcpError("endpoint must use a QP rooted at this worker's HCA")
         return UcpEndpoint(self, qp)
 
+    def snapshot(self) -> tuple:
+        return self.progress_calls, self.requests_issued
+
+    def restore(self, snap: tuple) -> None:
+        self.progress_calls, self.requests_issued = snap
+
     def progress_cost(self) -> float:
         """CPU time of one progress poll (callers advance the clock)."""
         self.progress_calls += 1
@@ -112,6 +118,18 @@ class UcpEndpoint:
         self.worker = worker
         self.qp = qp
         self.inflight: list[UcpRequest] = []
+
+    def snapshot(self) -> int:
+        """Checkpoints must be quiescent: an in-flight tracked request
+        references a live Completion that cannot survive a rewind."""
+        if self.inflight:
+            raise UcpError(
+                f"endpoint checkpoint with {len(self.inflight)} request(s) "
+                "in flight")
+        return 0
+
+    def restore(self, snap: int) -> None:
+        self.inflight.clear()
 
     def _software_path(self, now: float, src_addr: int, size: int,
                        zcopy_only: bool = False) -> tuple[float, int]:

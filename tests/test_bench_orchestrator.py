@@ -171,8 +171,9 @@ TOP_LEVEL_KEYS = {
 
 META_KEYS = {
     "generated_at", "host", "platform", "python", "git_sha",
-    "code_version", "seed", "fast", "smoke", "jobs", "wall_clock_s",
-    "cache_hits", "cache_misses", "sim_throughput",
+    "code_version", "seed", "fast", "smoke", "jobs", "trace", "fork",
+    "wall_clock_s", "sweep_wall_s", "cache_hits", "cache_misses",
+    "setup_cache", "sim_throughput",
 }
 
 SIM_THROUGHPUT_KEYS = {
@@ -315,3 +316,91 @@ def test_cli_bench_list(capsys):
     out = capsys.readouterr().out
     for name in ("fig5", "fig14", "abl_got"):
         assert name in out
+
+
+# ---------------------------------------------------------------------------
+# wall-clock diff mode and sweep timing
+# ---------------------------------------------------------------------------
+
+def _wc_payload(sim_ns_per_wall_s):
+    return {"figure": "figX",
+            "meta": {"sim_throughput": {"sim_ns_per_wall_s":
+                                        sim_ns_per_wall_s}}}
+
+
+def test_diff_paths_wall_clock_threshold_defaults_to_20pct(tmp_path):
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(_wc_payload(100.0)))
+
+    # 15% throughput drop: within the 20% default -> no regression
+    ok = tmp_path / "ok.json"
+    ok.write_text(json.dumps(_wc_payload(85.0)))
+    diffs, _ = diff_paths(base, ok, wall_clock=True)
+    assert len(diffs) == 1 and not diffs[0].regression
+
+    # 30% drop: beyond the default -> regression
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(_wc_payload(70.0)))
+    diffs, _ = diff_paths(base, bad, wall_clock=True)
+    assert len(diffs) == 1 and diffs[0].regression
+
+    # an explicit threshold still wins in either mode
+    diffs, _ = diff_paths(base, ok, threshold_pct=10.0, wall_clock=True)
+    assert diffs[0].regression
+
+
+def test_diff_paths_wall_clock_skips_cached_runs(tmp_path):
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(_wc_payload(100.0)))
+    cached = tmp_path / "cached.json"
+    cached.write_text(json.dumps({"figure": "figX", "meta": {}}))
+    diffs, notes = diff_paths(base, cached, wall_clock=True)
+    assert not diffs
+    assert any("sim_throughput" in n for n in notes)
+
+
+def test_wall_s_and_sweep_wall_s_are_distinct(tmp_path):
+    store = ResultStore(tmp_path)
+    run = run_figures([CHEAP], jobs=1, store=store)[0]
+    assert run.wall_s > 0.0
+    assert run.sweep_wall_s >= run.wall_s  # invocation covers the points
+
+    # fully cached rerun: no point work, but the invocation still took time
+    cached = run_figures([CHEAP], jobs=1, store=ResultStore(tmp_path))[0]
+    assert cached.wall_s == 0.0
+    assert cached.sweep_wall_s > 0.0
+
+
+def test_meta_records_setup_cache_and_sweep_wall(tmp_path):
+    runs = run_figures(["fig7"], smoke=True, jobs=1, fork=True)
+    paths = write_runs(runs, tmp_path,
+                       build_meta(fast=True, smoke=True, jobs=1, fork=True))
+    meta = json.loads(paths[0].read_text())["meta"]
+    assert meta["fork"] is True
+    assert meta["trace"] is False
+    assert meta["sweep_wall_s"] == pytest.approx(runs[0].sweep_wall_s,
+                                                abs=1e-6)
+    sc = meta["setup_cache"]
+    assert set(sc) == {"hits", "misses"}
+    # fig7's single smoke point builds both of its worlds: misses only
+    assert sc["misses"] >= 1 and sc["hits"] == 0
+
+
+def test_no_fork_produces_identical_rows():
+    forked = run_figures(["fig7"], smoke=True, jobs=1, fork=True)[0]
+    fresh = run_figures(["fig7"], smoke=True, jobs=1, fork=False)[0]
+    assert [p.row for p in forked.points] == [p.row for p in fresh.points]
+    assert fresh.setup_hits == 0 and fresh.setup_misses == 0
+
+
+def test_timing_store_roundtrip(tmp_path):
+    from repro.bench.resultstore import TimingStore, timing_key
+
+    ts = TimingStore(tmp_path)
+    assert ts.get("figX", {"a": 1}) is None
+    ts.record("figX", {"a": 1}, 1.25)
+    ts.save()
+    # a fresh store sees the persisted history (LPT ordering input)
+    again = TimingStore(tmp_path)
+    assert again.get("figX", {"a": 1}) == pytest.approx(1.25)
+    assert timing_key("figX", {"a": 1}) != timing_key("figX", {"a": 2})

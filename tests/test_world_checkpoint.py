@@ -1,0 +1,145 @@
+"""Tests for world checkpoint/fork: snapshot round-trips, quiescence
+enforcement, the setup cache, and the fork determinism contract — a
+rewound world must measure **byte-identically** to a freshly built one
+for every registered benchmark spec.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.figures import full_registry
+from repro.core.stdworld import (
+    SETUP_CACHE,
+    make_world,
+    shared_world,
+    world_setup_key,
+)
+from repro.errors import SimulationError
+from repro.machine.memory import PhysicalMemory
+
+
+@pytest.fixture(autouse=True)
+def _isolated_setup_cache():
+    """Every test starts and ends with a disabled, empty setup cache."""
+    SETUP_CACHE.enabled = False
+    SETUP_CACHE.clear()
+    yield
+    SETUP_CACHE.enabled = False
+    SETUP_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# subsystem round-trips
+# ---------------------------------------------------------------------------
+
+def test_physical_memory_snapshot_roundtrip():
+    mem = PhysicalMemory(1 << 16)
+    mem.write(0x100, b"hello world")
+    snap = mem.snapshot(upto=0x200)
+    mem.write(0x100, b"XXXXXXXXXXX")
+    mem.write(0x1000, b"late allocation")  # beyond the snapshot bound
+    mem.restore(snap, dirty_upto=0x1100)
+    assert mem.read(0x100, 11) == b"hello world"
+    # bytes written after the snapshot bound read as fresh zeros again
+    assert mem.read(0x1000, 15) == b"\x00" * 15
+
+
+def test_world_snapshot_restores_memory_caches_and_rngs():
+    w = make_world(seed=7)
+    node = w.bed.node0
+    cp = w.snapshot()
+
+    before_mem = bytes(node.mem.data[: 1 << 20])
+    before_l1d = [dict(c._map) for c in node.hier.l1d]
+    before_llc = dict(node.hier.llc._map)
+    before_rngs = w.bed.rngs.snapshot()
+
+    # Perturb every captured subsystem: memory bytes, cache residency
+    # and LRU state, DRAM ledger, RNG streams, the simulated clock.
+    addr = node.mem.size // 2
+    node.mem.write(addr, b"scribble")
+    for i in range(256):
+        node.hier.access(0.0, 0, addr + 64 * i, 8, "write")
+    w.bed.rngs.child("test").random()
+    w.engine.now += 123.0
+
+    w.restore(cp)
+    assert bytes(node.mem.data[: 1 << 20]) == before_mem
+    assert [dict(c._map) for c in node.hier.l1d] == before_l1d
+    assert dict(node.hier.llc._map) == before_llc
+    assert w.bed.rngs.snapshot() == before_rngs
+    assert w.engine.snapshot() == cp.engine
+
+
+def test_snapshot_rejects_non_quiescent_engine():
+    w = make_world()
+    w.engine.call_after(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        w.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# setup keys and the cache protocol
+# ---------------------------------------------------------------------------
+
+def test_world_setup_key_is_canonical_and_none_for_custom_builds():
+    assert world_setup_key() == world_setup_key()
+    assert world_setup_key(seed=1) != world_setup_key(seed=2)
+    from repro.core.stdjams import build_std_package
+
+    assert world_setup_key(build=build_std_package()) is None
+
+
+def test_shared_world_is_make_world_when_disabled():
+    assert not SETUP_CACHE.enabled
+    w1 = shared_world()
+    w2 = shared_world()
+    assert w1 is not w2
+    assert SETUP_CACHE.counts() == (0, 0)
+
+
+def test_setup_cache_forks_same_instance_per_slot():
+    SETUP_CACHE.enabled = True
+    SETUP_CACHE.begin_point()
+    a1 = shared_world()
+    a2 = shared_world()  # second acquisition in the same point: slot 1
+    assert a1 is not a2
+    SETUP_CACHE.begin_point()
+    b1 = shared_world()
+    b2 = shared_world()
+    # point N's k-th world under a key is always pool slot k, rewound
+    assert b1 is a1 and b2 is a2
+    assert SETUP_CACHE.counts() == (2, 2)
+
+
+# ---------------------------------------------------------------------------
+# fork determinism: forked == fresh, byte for byte, for every spec
+# ---------------------------------------------------------------------------
+
+def _row(spec, params):
+    SETUP_CACHE.begin_point()
+    return json.dumps(spec.point(**params), sort_keys=True)
+
+
+@pytest.mark.parametrize("name", sorted(full_registry()))
+def test_forked_world_rows_match_fresh(name):
+    spec = full_registry()[name]
+    params = spec.points(True)[0]  # smoke point
+
+    fresh = _row(spec, params)
+
+    SETUP_CACHE.enabled = True
+    SETUP_CACHE.clear()
+    first = _row(spec, params)   # builds + checkpoints the pool worlds
+    forked = _row(spec, params)  # rewinds the same instances
+    hits, misses = SETUP_CACHE.counts()
+
+    assert first == fresh
+    assert forked == fresh
+    # Specs that build worlds (all but the purely structural ablations)
+    # must have forked every world on the second run.
+    if misses:
+        assert hits == misses
