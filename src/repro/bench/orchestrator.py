@@ -161,7 +161,7 @@ def _exec_point(task: tuple[str, dict, bool]
             hits1 - hits0, misses1 - misses0)
 
 
-def _exec_group(task: tuple[list[tuple[str, dict, bool]], bool]
+def _exec_group(task: tuple[list[tuple[str, dict, bool]], bool, bool]
                 ) -> list[tuple[dict, float, dict, dict | None, int, int]]:
     """Pool worker: run one setup-key group of sweep points, in order.
 
@@ -170,9 +170,13 @@ def _exec_group(task: tuple[list[tuple[str, dict, bool]], bool]
     forks the warm worlds its predecessors built instead of repaying
     the build+link prefix.  The cache is torn down afterwards — pool
     workers may process several groups and must not leak worlds between
-    them.
+    them.  ``fuse`` carries the VM fusion switch into pool workers
+    (process-global state does not travel with the task otherwise).
     """
-    group, fork = task
+    group, fork, fuse = task
+    from ..isa import vm as _vm
+    prev_fuse = _vm.fusion_enabled()
+    _vm.set_fusion(fuse)
     if fork:
         SETUP_CACHE.enabled = True
         SETUP_CACHE.clear()
@@ -181,6 +185,7 @@ def _exec_group(task: tuple[list[tuple[str, dict, bool]], bool]
     finally:
         SETUP_CACHE.enabled = False
         SETUP_CACHE.clear()
+        _vm.set_fusion(prev_fuse)
 
 
 def resolve_jobs(jobs: int | str) -> int:
@@ -227,7 +232,7 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
                 smoke: bool = False, jobs: int | str = 1,
                 store: ResultStore | None = None,
                 trace: bool = False, fork: bool = True,
-                log=None) -> list[FigureRun]:
+                fuse: bool = True, log=None) -> list[FigureRun]:
     """Run the requested sweeps, reusing cached points, fanning out misses.
 
     ``smoke`` keeps only the first point of every sweep (the CI target).
@@ -241,6 +246,9 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
     the per-phase span durations to its record; traced runs skip cache
     *reads* (a cached row carries no spans) but still refresh the store,
     and tracing never changes the measured rows.
+    ``fuse=False`` (``--no-fuse``) disables the VM's basic-block fusion
+    JIT for the whole run — measured rows are identical either way (the
+    fusion-identity tests pin this); only wall-clock differs.
     """
     names = resolve_names(names)
     registry = full_registry()
@@ -277,7 +285,7 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
             + ("" if fork else ", fork disabled"))
 
     if group_tasks:
-        payload = [(g, fork) for g in group_tasks]
+        payload = [(g, fork, fuse) for g in group_tasks]
         if jobs > 1 and len(group_tasks) > 1:
             with multiprocessing.Pool(min(jobs, len(group_tasks))) as pool:
                 group_outs = pool.map(_exec_group, payload, chunksize=1)
@@ -332,7 +340,8 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
 
 
 def build_meta(*, fast: bool, smoke: bool, jobs: int,
-               trace: bool = False, fork: bool = True) -> dict:
+               trace: bool = False, fork: bool = True,
+               fuse: bool = True) -> dict:
     """Host/run metadata shared by every figure payload of one run.
 
     Everything here is allowed to differ between two otherwise identical
@@ -351,6 +360,7 @@ def build_meta(*, fast: bool, smoke: bool, jobs: int,
         "jobs": jobs,
         "trace": trace,
         "fork": fork,
+        "fuse": fuse,
     }
 
 

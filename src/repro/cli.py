@@ -98,8 +98,10 @@ def _cmd_perf(args) -> int:
     from .bench.shapes import am_injection_rate, am_pingpong
     from .core.config import RuntimeConfig, WaitMode
     from .core.stdworld import make_world
+    from .isa.vm import set_fusion
     from .machine.hierarchy import HierarchyConfig
 
+    set_fusion(not args.no_fuse)
     hier = HierarchyConfig(stash_enabled=not args.nonstash,
                            prefetch_enabled=not args.noprefetch)
     mode = WaitMode.WFE if args.wfe else WaitMode.POLL
@@ -206,12 +208,13 @@ def _cmd_bench_run(args) -> int:
         store = ResultStore(cache_dir)
     fast = not args.full
     fork = not args.no_fork
+    fuse = not args.no_fuse
     runs = run_figures(names, fast=fast, smoke=args.smoke, jobs=jobs,
-                       store=store, trace=args.trace, fork=fork,
+                       store=store, trace=args.trace, fork=fork, fuse=fuse,
                        log=None if args.quiet else
                        (lambda m: print(m, file=sys.stderr)))
     meta = build_meta(fast=fast, smoke=args.smoke, jobs=jobs,
-                      trace=args.trace, fork=fork)
+                      trace=args.trace, fork=fork, fuse=fuse)
     paths = write_runs(runs, args.out, meta)
     if not args.quiet:
         print(render_runs_text(runs))
@@ -305,6 +308,9 @@ def make_parser() -> argparse.ArgumentParser:
                    help="disable the stride prefetcher")
     p.add_argument("--stress", action="store_true",
                    help="run with the stress workload (pingpong only)")
+    p.add_argument("--no-fuse", action="store_true",
+                   help="disable the VM's basic-block fusion JIT "
+                        "(slower; measurements are identical either way)")
     p.add_argument("--iters", type=int, default=120)
     p.add_argument("--warmup", type=int, default=24)
     p.add_argument("--messages", type=int, default=1000)
@@ -370,6 +376,9 @@ def make_parser() -> argparse.ArgumentParser:
                    help="build every world fresh instead of forking warm "
                         "setup-cache checkpoints (slower; rows are "
                         "identical either way)")
+    b.add_argument("--no-fuse", action="store_true",
+                   help="disable the VM's basic-block fusion JIT "
+                        "(slower; rows are identical either way)")
     b.add_argument("--quiet", action="store_true",
                    help="suppress progress and text tables")
     b.set_defaults(fn=_cmd_bench_run)

@@ -88,6 +88,15 @@ class MemoryHierarchy:
         self._stream_llc_ns = max(cfg.stream_line_ns, cfg.llc_lat / 6.0)
         self._stream_covered_ns = max(self.dram.service_per_line_ns,
                                       cfg.stream_line_ns)
+        # Precomputed per-core cache chains (the cache *objects* are
+        # stable for the hierarchy's lifetime; snapshot/restore mutates
+        # their contents in place):
+        #  - _clean_fill[core]: the L2/L3/LLC legs of a fill walk
+        #  - _snoop_set[core]:  every cache an owner-core snoop must probe
+        self._clean_fill = [(self.l2[c], self.l3[c >> 1], self.llc)
+                            for c in range(n)]
+        self._snoop_set = [(self.l1i[c], self.l1d[c], self.l2[c],
+                            self.l3[c >> 1]) for c in range(n)]
         # stats
         self.dma_stash_lines = 0
         self.dma_dram_lines = 0
@@ -109,41 +118,70 @@ class MemoryHierarchy:
         time, in eviction order, so the DRAM ledger floats match the
         per-call formulation exactly.
         """
-        d = dirty  # only the L1 level installs dirty; cleared after it
-        dram = self.dram
-        for cache in (l1, self.l2[core], self.l3[core >> 1], self.llc):
-            m = cache._map
-            cache._tick = tick = cache._tick + 1
-            sidx = line & cache._set_mask
-            way = m.get(line)
-            if way is not None:  # refresh (typical for the LLC level)
-                cache.lru[sidx][way] = tick
-                if d:
-                    cache.dirty[sidx][way] = True
-                    d = False
-                continue
-            row = cache.tags.get(sidx)
+        charge = self.dram.charge_bandwidth
+        # L1 leg: the only level that can install dirty.
+        m = l1._map
+        l1._tick = tick = l1._tick + 1
+        sidx = line & l1._set_mask
+        lru = l1.lru
+        way = m.get(line)
+        if way is not None:  # refresh
+            lru[sidx][way] = tick
+            if dirty:
+                l1.dirty[sidx][way] = True
+        else:
+            tags = l1.tags
+            row = tags.get(sidx)
             if row is None:
-                w = cache.ways
-                row = cache.tags[sidx] = [-1] * w
-                cache.lru[sidx] = [0] * w
-                cache.dirty[sidx] = [False] * w
+                w = l1.ways
+                row = tags[sidx] = [-1] * w
+                lru[sidx] = [0] * w
+                l1.dirty[sidx] = [False] * w
                 way = 0  # fresh set: every way is free
             elif -1 in row:
                 way = row.index(-1)
             else:
-                lru_row = cache.lru[sidx]
+                lru_row = lru[sidx]
                 way = lru_row.index(min(lru_row))
-                old_line = row[way]
+                if l1.dirty[sidx][way]:
+                    charge(now, 1)
+                del m[row[way]]
+                l1.evictions += 1
+            row[way] = line
+            m[line] = way
+            lru[sidx][way] = tick
+            l1.dirty[sidx][way] = dirty
+        # Clean legs (L2 -> L3 -> LLC): identical walk, dirty never set.
+        for cache in self._clean_fill[core]:
+            m = cache._map
+            cache._tick = tick = cache._tick + 1
+            sidx = line & cache._set_mask
+            lru = cache.lru
+            way = m.get(line)
+            if way is not None:  # refresh (typical for the LLC level)
+                lru[sidx][way] = tick
+                continue
+            tags = cache.tags
+            row = tags.get(sidx)
+            if row is None:
+                w = cache.ways
+                row = tags[sidx] = [-1] * w
+                lru[sidx] = [0] * w
+                cache.dirty[sidx] = [False] * w
+                way = 0
+            elif -1 in row:
+                way = row.index(-1)
+            else:
+                lru_row = lru[sidx]
+                way = lru_row.index(min(lru_row))
                 if cache.dirty[sidx][way]:
-                    dram.charge_bandwidth(now, 1)
-                del m[old_line]
+                    charge(now, 1)
+                del m[row[way]]
                 cache.evictions += 1
             row[way] = line
             m[line] = way
-            cache.lru[sidx][way] = tick
-            cache.dirty[sidx][way] = d
-            d = False
+            lru[sidx][way] = tick
+            cache.dirty[sidx][way] = False
 
     # ------------------------------------------------------------------
     def access_line(self, now: float, core: int, line: int, kind: str) -> float:
@@ -312,9 +350,44 @@ class MemoryHierarchy:
         """
         if size <= 0:
             return 0.0
+        # The per-line L1D hit path is open-coded here (warm streams hit
+        # L1 on nearly every line) with the tick and the hit/probe
+        # counters batched in locals; both are flushed before any miss
+        # takes the full `_stream_line` walk, which reads and bumps the
+        # same state.
+        l1 = self.l1d[core]
+        m = l1._map
+        lru = l1.lru
+        dirty = l1.dirty
+        mask = l1._set_mask
+        write = kind == "write"
+        stream_ns = self._stream_ns
+        stream_line = self._stream_line
+        tick = l1._tick
+        pend = 0
         mem_total = 0.0
         for line in lines_touched(addr, size):
-            mem_total += self._stream_line(now + mem_total, core, line, kind)
+            way = m.get(line)
+            if way is not None:
+                pend += 1
+                tick += 1
+                sidx = line & mask
+                lru[sidx][way] = tick
+                if write:
+                    dirty[sidx][way] = True
+                mem_total += stream_ns
+                continue
+            if pend:
+                l1.hits += pend
+                _C.cache_probes += pend
+                pend = 0
+            l1._tick = tick
+            mem_total += stream_line(now + mem_total, core, line, kind)
+            tick = l1._tick  # the fill walk bumped it
+        if pend:
+            l1.hits += pend
+            _C.cache_probes += pend
+        l1._tick = tick
         cpu_total = ops_per_byte * size / 2.6  # cycles -> ns at 2.6 GHz
         return max(mem_total, cpu_total)
 
@@ -397,9 +470,12 @@ class MemoryHierarchy:
             llc = self.llc
             m, tags, lru, dirty = llc._map, llc.tags, llc.lru, llc.dirty
             mask = llc._set_mask
+            w = llc.ways
             charge = self.dram.charge_bandwidth
+            tick = llc._tick
+            evictions = 0
             for line in lines:
-                llc._tick = tick = llc._tick + 1
+                tick += 1
                 sidx = line & mask
                 way = m.get(line)
                 if way is not None:  # refresh
@@ -408,7 +484,6 @@ class MemoryHierarchy:
                     continue
                 row = tags.get(sidx)
                 if row is None:
-                    w = llc.ways
                     row = tags[sidx] = [-1] * w
                     lru[sidx] = [0] * w
                     dirty[sidx] = [False] * w
@@ -422,11 +497,13 @@ class MemoryHierarchy:
                     if dirty[sidx][way]:
                         charge(now, 1)
                     del m[old_line]
-                    llc.evictions += 1
+                    evictions += 1
                 row[way] = line
                 m[line] = way
                 lru[sidx][way] = tick
                 dirty[sidx][way] = True
+            llc._tick = tick
+            llc.evictions += evictions
             # LLC fill crosses the NOC at interconnect speed: ~64B/cycle at
             # 1.6 GHz -> 0.625ns/line; generous but the NOC is not the
             # bottleneck in this system.
@@ -444,7 +521,10 @@ class MemoryHierarchy:
         """Outbound DMA (memory -> HCA): source lines are read from LLC if
         present, else from DRAM; returns occupancy ns for pacing."""
         lines = list(lines_touched(addr, size))
-        dram_lines = sum(1 for line in lines if not self.llc.probe(line))
+        # C-level residency count: map() over the dict's __contains__
+        # beats a genexpr of probe() calls on these multi-hundred-line
+        # payload spans
+        dram_lines = len(lines) - sum(map(self.llc._map.__contains__, lines))
         if dram_lines:
             q = self.dram.charge_bandwidth(now, dram_lines)
         else:
@@ -452,31 +532,41 @@ class MemoryHierarchy:
         return len(lines) * 0.625 + dram_lines * self.dram.service_per_line_ns + q
 
     def _snoop_invalidate(self, lines: list[int], owner_core: int | None) -> None:
-        cores = range(self.cfg.ncores) if owner_core is None else (owner_core,)
-        caches = []
-        for c in cores:
-            caches += (self.l1i[c], self.l1d[c], self.l2[c])
         if owner_core is None:
+            caches = []
+            for c in range(self.cfg.ncores):
+                caches += (self.l1i[c], self.l1d[c], self.l2[c])
             caches += self.l3
         else:
-            caches.append(self.l3[self._cluster(owner_core)])
-        # >90% of snooped lines are resident nowhere: probe each DMA line
-        # against the resident map directly (the DMA span is small, the
-        # map is not) and only touch actual residents (drop without
-        # write-back — matches the previous unconditional-invalidate
-        # behavior).
+            caches = self._snoop_set[owner_core]
+        # The DMA span is a contiguous line range, so residency can be
+        # found from whichever side is smaller: scan the cache's resident
+        # map with two range compares, or probe each span line against
+        # the map.  Residents are dropped without write-back (the HCA
+        # overwrites the whole line), exactly as before.
+        if not lines:
+            return
+        first = lines[0]
+        last = lines[-1]
+        nlines = len(lines)
         for cache in caches:
             cmap = cache._map
             if not cmap:
                 continue
+            if len(cmap) <= nlines:
+                hits = [ln for ln in cmap if first <= ln <= last]
+            else:
+                hits = [ln for ln in lines if ln in cmap]
+            if not hits:
+                continue
             mask = cache._set_mask
-            for line in lines:
-                if line in cmap:
-                    way = cmap.pop(line)
-                    sidx = line & mask
-                    cache.tags[sidx][way] = -1
-                    cache.dirty[sidx][way] = False
-                    cache.lru[sidx][way] = 0
+            tags, lru, dirty = cache.tags, cache.lru, cache.dirty
+            for line in hits:
+                way = cmap.pop(line)
+                sidx = line & mask
+                tags[sidx][way] = -1
+                dirty[sidx][way] = False
+                lru[sidx][way] = 0
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
@@ -504,7 +594,8 @@ class MemoryHierarchy:
         self.dram.restore(snap["dram"])
         for pf, s in zip(self.prefetchers, snap["prefetchers"]):
             pf.restore(s)
-        self._last_ifetch = list(snap["last_ifetch"])
+        # in-place: the VM's fused closures bind this list at codegen time
+        self._last_ifetch[:] = snap["last_ifetch"]
         self.dma_stash_lines = snap["dma_stash_lines"]
         self.dma_dram_lines = snap["dma_dram_lines"]
         self.demand_dram_lines = snap["demand_dram_lines"]

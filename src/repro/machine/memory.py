@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import MachineError, MemoryFault
+from ..perf import COUNTERS as _C
 
 LINE = 64  # cache-line size in bytes, fixed across the model
 
@@ -41,22 +42,92 @@ class PhysicalMemory:
         # contract for self-modifying code, GOT rewrites, and DMA into
         # code pages.  Writers that bypass these methods (mutating a
         # numpy view directly) would break it; no simulator code does.
+        #
+        # Mutators first compare the incoming bytes against the resident
+        # ones for *tracked* lines and skip the drop when nothing
+        # changes: message delivery rewrites mailbox code with identical
+        # bytes on every send of the same function, and re-decoding it
+        # each time is pure waste.  An identical write is observationally
+        # a no-op, so keeping the decode is always sound.
         self.code_lines: dict[int, object] = {}
+        # Fused-superblock cache: line index -> 8-entry dispatch table
+        # (repro.isa.vm fusion layer).  Blocks may *read* instructions
+        # from following lines; ``block_deps`` maps each such dependency
+        # line to the anchor lines whose blocks must die with it.
+        self.code_blocks: dict[int, object] = {}
+        self.block_deps: dict[int, set[int]] = {}
 
     def _retire_code(self, addr: int, length: int) -> None:
-        """Drop predecoded lines overlapping [addr, addr+length)."""
+        """Drop predecoded lines/blocks overlapping [addr, addr+length).
+
+        A line serving as a *dependency* of fused blocks anchored
+        elsewhere also kills those anchors' block tables (their closures
+        baked in this line's instructions); the anchors' per-slot
+        decodes stay valid and are kept.
+        """
         cl = self.code_lines
-        if not cl or length <= 0:
+        bd = self.block_deps
+        if (not cl and not bd) or length <= 0:
             return
+        cb = self.code_blocks
         first = addr >> 6
         last = (addr + length - 1) >> 6
-        if last - first < len(cl):
-            for line in range(first, last + 1):
-                if line in cl:
-                    del cl[line]
+        if last - first < len(cl) + len(bd):
+            lines = range(first, last + 1)
         else:  # huge write, small cache: intersect the other way
-            for line in [ln for ln in cl if first <= ln <= last]:
+            lines = [ln for ln in set(cl) | set(bd) if first <= ln <= last]
+        inval = 0
+        for line in lines:
+            if line in cl:
                 del cl[line]
+            if cb.pop(line, None) is not None:
+                inval += 1
+            if line in bd:
+                for anchor in bd.pop(line):
+                    if cb.pop(anchor, None) is not None:
+                        inval += 1
+        if inval:
+            _C.block_invalidations += inval
+
+    def _retire_changed(self, addr: int, payload, length: int) -> None:
+        """Selective invalidation for bulk writes (called *before* the
+        bytes land): drop only tracked lines whose overlapped bytes
+        actually change.  ``payload`` must be a memoryview."""
+        cl = self.code_lines
+        cb = self.code_blocks
+        bd = self.block_deps
+        mv = self._mv
+        first = addr >> 6
+        last = (addr + length - 1) >> 6
+        if last - first < len(cl) + len(bd):
+            lines = range(first, last + 1)
+        else:
+            lines = [ln for ln in set(cl) | set(bd) if first <= ln <= last]
+        end = addr + length
+        inval = 0
+        for line in lines:
+            # block anchors are always decoded lines (cb keys ⊆ cl keys),
+            # so membership in cl/bd covers cb too
+            if line not in cl and line not in bd:
+                continue
+            lo = line << 6
+            hi = lo + 64
+            if lo < addr:
+                lo = addr
+            if hi > end:
+                hi = end
+            if mv[lo:hi] == payload[lo - addr:hi - addr]:
+                continue  # identical bytes: decode stays valid
+            if line in cl:
+                del cl[line]
+            if cb.pop(line, None) is not None:
+                inval += 1
+            if line in bd:
+                for anchor in bd.pop(line):
+                    if cb.pop(anchor, None) is not None:
+                        inval += 1
+        if inval:
+            _C.block_invalidations += inval
 
     def _check(self, addr: int, length: int) -> None:
         if addr < 0 or length < 0 or addr + length > self.size:
@@ -76,9 +147,11 @@ class PhysicalMemory:
         # mv slice assignment accepts any contiguous bytes-like and skips
         # the frombuffer wrapper — measurably cheaper for the small
         # payloads (headers, descriptors) that dominate this path
+        if (self.code_lines or self.block_deps) and length > 0:
+            # per-line compare *before* the bytes land: redelivered code
+            # (same function, new message) keeps its decode
+            self._retire_changed(addr, memoryview(payload), length)
         self._mv[addr : addr + length] = payload
-        if self.code_lines:
-            self._retire_code(addr, length)
 
     def fill(self, addr: int, length: int, value: int = 0) -> None:
         self._check(addr, length)
@@ -93,10 +166,15 @@ class PhysicalMemory:
 
     def write_u64(self, addr: int, value: int) -> None:
         self._check(addr, 8)
-        self._mv[addr : addr + 8] = (value & 0xFFFFFFFFFFFFFFFF).to_bytes(
-            8, "little")
-        if self.code_lines:
+        b = (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+        mv = self._mv
+        if self.code_lines or self.block_deps:
+            if mv[addr : addr + 8] == b:
+                return  # identical bytes (e.g. GOT re-patch): keep decodes
+            mv[addr : addr + 8] = b
             self._retire_code(addr, 8)
+        else:
+            mv[addr : addr + 8] = b
 
     def read_u32(self, addr: int) -> int:
         self._check(addr, 4)
@@ -104,9 +182,15 @@ class PhysicalMemory:
 
     def write_u32(self, addr: int, value: int) -> None:
         self._check(addr, 4)
-        self._mv[addr : addr + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
-        if self.code_lines:
+        b = (value & 0xFFFFFFFF).to_bytes(4, "little")
+        mv = self._mv
+        if self.code_lines or self.block_deps:
+            if mv[addr : addr + 4] == b:
+                return
+            mv[addr : addr + 4] = b
             self._retire_code(addr, 4)
+        else:
+            mv[addr : addr + 4] = b
 
     def read_u8(self, addr: int) -> int:
         self._check(addr, 1)
@@ -114,9 +198,15 @@ class PhysicalMemory:
 
     def write_u8(self, addr: int, value: int) -> None:
         self._check(addr, 1)
-        self._mv[addr] = value & 0xFF
-        if self.code_lines:
+        v = value & 0xFF
+        mv = self._mv
+        if self.code_lines or self.block_deps:
+            if mv[addr] == v:
+                return
+            mv[addr] = v
             self._retire_code(addr, 1)
+        else:
+            mv[addr] = v
 
     def read_i64(self, addr: int) -> int:
         v = self.read_u64(addr)
@@ -145,8 +235,9 @@ class PhysicalMemory:
         ``dirty_upto`` is the current write high-water mark: bytes between
         the snapshot bound and it are zeroed (they were allocated after
         the snapshot and must read as fresh zeros again).  The predecoded
-        ``code_lines`` cache is dropped wholesale — this path bypasses
-        the per-write ``_retire_code`` invalidation contract.
+        ``code_lines``/``code_blocks`` caches are dropped wholesale —
+        this path bypasses the per-write ``_retire_code`` invalidation
+        contract.
         """
         upto, blob = snap
         self.data[:upto] = np.frombuffer(blob, dtype=np.uint8)
@@ -154,6 +245,8 @@ class PhysicalMemory:
         if end > upto:
             self.data[upto:end] = 0
         self.code_lines.clear()
+        self.code_blocks.clear()
+        self.block_deps.clear()
 
     # vector views --------------------------------------------------------
     def view_i64(self, addr: int, count: int) -> np.ndarray:

@@ -20,6 +20,13 @@ Counting rules (kept deliberately coarse so the hot paths stay hot):
 * ``des_events`` — callbacks executed by ``Engine.run`` (bare
   ``Engine.step`` calls outside ``run`` are not counted).
 * ``sim_ns`` — simulated time advanced by ``Engine.run``.
+* ``blocks_compiled`` — fused superblock closures materialized by the
+  VM's basic-block fusion layer (one per generated closure, not per
+  memo hit).
+* ``fused_dispatches`` — hot-loop dispatches that entered a fused
+  block (each retires 2+ instructions in one call).
+* ``block_invalidations`` — fused blocks dropped because a write
+  changed bytes under them (stores, DMA, GOT patches).
 
 Counters are per-process; the orchestrator snapshots them around each
 sweep point and ships the deltas back from pool workers.
@@ -27,7 +34,8 @@ sweep point and ships the deltas back from pool workers.
 
 from __future__ import annotations
 
-_FIELDS = ("instructions", "cache_probes", "des_events", "sim_ns")
+_FIELDS = ("instructions", "cache_probes", "des_events", "sim_ns",
+           "blocks_compiled", "fused_dispatches", "block_invalidations")
 
 
 class SimCounters:
@@ -43,6 +51,9 @@ class SimCounters:
         self.cache_probes = 0
         self.des_events = 0
         self.sim_ns = 0.0
+        self.blocks_compiled = 0
+        self.fused_dispatches = 0
+        self.block_invalidations = 0
 
     def snapshot(self) -> dict:
         return {name: getattr(self, name) for name in _FIELDS}
@@ -64,6 +75,9 @@ def throughput(counters: dict, wall_s: float) -> dict:
         "cache_probes": int(counters.get("cache_probes", 0)),
         "des_events": int(counters.get("des_events", 0)),
         "sim_ns": round(float(counters.get("sim_ns", 0.0)), 3),
+        "blocks_compiled": int(counters.get("blocks_compiled", 0)),
+        "fused_dispatches": int(counters.get("fused_dispatches", 0)),
+        "block_invalidations": int(counters.get("block_invalidations", 0)),
         "wall_s": round(wall_s, 6),
         "instructions_per_s": round(counters.get("instructions", 0) / wall, 1),
         "sim_ns_per_wall_s": round(counters.get("sim_ns", 0.0) / wall, 1),
