@@ -25,7 +25,7 @@ from repro.core import (
 from repro.elf import build_shared_object
 from repro.isa import assemble
 from repro.machine import PROT_RW
-from repro.rdma import Testbed
+from repro.rdma import Fabric
 
 RIED = RiedSource("ried_out", """
     long last_result = 0;
@@ -59,9 +59,11 @@ NEGATOR = """
 
 
 def run_on(receiver_asm: str) -> int:
-    bed = Testbed.create()
-    client = TwoChainsRuntime(bed.engine, bed.node0, bed.hca0, bed.qp01)
-    server = TwoChainsRuntime(bed.engine, bed.node1, bed.hca1, bed.qp10)
+    bed = Fabric.create()   # default topology: the two-node pair
+    client = TwoChainsRuntime(bed.engine, bed.node(0), bed.hca(0),
+                              bed.qps_from(0))
+    server = TwoChainsRuntime(bed.engine, bed.node(1), bed.hca(1),
+                              bed.qps_from(1))
     build = build_package("overload", [JAM], [RIED])
     # The client resolves `transform` too (it loads the same package), but
     # what matters is the *receiver's* binding: load it there first.
@@ -74,8 +76,8 @@ def run_on(receiver_asm: str) -> int:
     conn = connect_runtimes(client, server, mailbox)
     waiter = server.make_waiter(mailbox)
     waiter.start()
-    payload = bed.node0.map_region(64, PROT_RW)
-    bed.node0.mem.write_i64(payload, 21)
+    payload = bed.node(0).map_region(64, PROT_RW)
+    bed.node(0).mem.write_i64(payload, 21)
     pkg = client.packages[build.package_id]
 
     def send():

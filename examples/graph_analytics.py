@@ -76,9 +76,9 @@ def load_graph_on_server(world, lib) -> nx.Graph:
     graph = nx.gnp_random_graph(N_VERTICES, EDGE_PROB, seed=11,
                                 directed=False)
     xadj, adj = build_csr(graph)
-    node1 = world.bed.node1
-    load_csr(node1, lib, xadj, adj)
-    node1.mem.write_i64(lib.symbol("g_nvertices"), N_VERTICES)
+    server_node = world.node("server")
+    load_csr(server_node, lib, xadj, adj)
+    server_node.mem.write_i64(lib.symbol("g_nvertices"), N_VERTICES)
     return graph
 
 
@@ -101,9 +101,9 @@ def main() -> None:
     waiter = server.make_waiter(mailbox)
     waiter.start()
 
-    payload = world.bed.node0.map_region(len(frontier) * 8, PROT_RW)
+    payload = world.node("client").map_region(len(frontier) * 8, PROT_RW)
     for i, v in enumerate(frontier):
-        world.bed.node0.mem.write_i64(payload + 8 * i, v)
+        world.node("client").mem.write_i64(payload + 8 * i, v)
     pkg = client.packages[build.package_id]
 
     def query():
@@ -118,7 +118,7 @@ def main() -> None:
     got = waiter.stats.last_exec_ret
     expected = sum(1 for v in frontier for u in graph.neighbors(v)
                    if u < threshold)
-    visited = world.bed.node1.mem.read_i64(lib.symbol("q_visited"))
+    visited = world.node("server").mem.read_i64(lib.symbol("q_visited"))
     print(f"frontier of {len(frontier)} vertices, predicate 'id < "
           f"{threshold}' shipped in a {conn.info.frame_size} B message")
     print(f"edges visited server-side: {visited}; matches: {got} "

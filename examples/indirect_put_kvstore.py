@@ -32,7 +32,7 @@ def main() -> None:
     waiter.start()
 
     pkg = client.packages[world.build.package_id]
-    staging = world.bed.node0.map_region(VALUE_BYTES, PROT_RW)
+    staging = world.node("client").map_region(VALUE_BYTES, PROT_RW)
     keys = [int(k) for k in rng.choice(10_000, size=N_KEYS, replace=False)]
     values = {k: bytes(rng.integers(1, 255, VALUE_BYTES, dtype=np.uint8))
               for k in keys}
@@ -40,11 +40,11 @@ def main() -> None:
     def producer():
         t0 = world.engine.now
         for key in keys:
-            world.bed.node0.mem.write(staging, values[key])
+            world.node("client").mem.write(staging, values[key])
             yield from conn.send_jam(pkg, "jam_indirect_put", staging,
                                      VALUE_BYTES, args=(key,), inject=True)
         # Re-put one key with new data: same key -> same heap offset.
-        world.bed.node0.mem.write(staging, b"\xAA" * VALUE_BYTES)
+        world.node("client").mem.write(staging, b"\xAA" * VALUE_BYTES)
         values[keys[0]] = b"\xAA" * VALUE_BYTES
         yield from conn.send_jam(pkg, "jam_indirect_put", staging,
                                  VALUE_BYTES, args=(keys[0],), inject=True)
@@ -55,7 +55,7 @@ def main() -> None:
     waiter.stop()
 
     lib = server.packages[world.build.package_id].library
-    node1 = world.bed.node1
+    node1 = world.node("server")
     inserts = node1.mem.read_i64(lib.symbol("kv_inserts"))
     heap_used = node1.mem.read_i64(lib.symbol("kv_cursor"))
     print(f"server processed {waiter.stats.frames} active messages")

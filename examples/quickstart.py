@@ -72,9 +72,9 @@ def main() -> None:
     conn = connect_runtimes(client, server, mailbox)
 
     # Client payload: eight longs, 1..8.
-    payload = world.bed.node0.map_region(64, PROT_RW)
+    payload = world.node("client").map_region(64, PROT_RW)
     for i in range(8):
-        world.bed.node0.mem.write_i64(payload + 8 * i, i + 1)
+        world.node("client").mem.write_i64(payload + 8 * i, i + 1)
 
     pkg = client.packages[build.package_id]
 
@@ -87,8 +87,8 @@ def main() -> None:
     waiter.stop()
 
     lib = server.packages[build.package_id].library
-    total = world.bed.node1.mem.read_i64(lib.symbol("total"))
-    hits = world.bed.node1.mem.read_i64(lib.symbol("hits"))
+    total = world.node("server").mem.read_i64(lib.symbol("total"))
+    hits = world.node("server").mem.read_i64(lib.symbol("hits"))
     print(f"server stdout: {server.intrinsics.stdout}")
     print(f"server ried state: hits={hits} total={total} "
           f"(expected {sum(range(1, 9)) * 10})")

@@ -55,14 +55,17 @@ def main() -> None:
 
     # And the IBTA rkey check: garbage rkeys never touch memory.
     world = make_world()
-    dst = world.bed.node1.map_region(4096)
-    src = world.bed.node0.map_region(4096)
-    comp = world.bed.qp01.post_put(0.0, src, dst, 64, rkey=0xBADC0DE)
+    topo = world.topology
+    dst = world.node("server").map_region(4096)
+    src = world.node("client").map_region(4096)
+    qp = world.bed.qp(topo.role_id("client"), topo.role_id("server"))
+    comp = qp.post_put(0.0, src, dst, 64, rkey=0xBADC0DE)
     world.engine.run()
     assert not comp.ok
-    assert world.bed.node1.mem.read(dst, 64) == b"\0" * 64
+    assert world.node("server").mem.read(dst, 64) == b"\0" * 64
     try:
-        world.bed.hca1.mrs.validate(0xBADC0DE, dst, 64, access_op())
+        world.bed.hca(topo.role_id("server")).mrs.validate(
+            0xBADC0DE, dst, 64, access_op())
     except RkeyViolation as exc:
         print(f"\nbad rkey rejected at the hardware level: {exc}")
     print("OK")

@@ -117,8 +117,9 @@ def register(spec: FigureSpec) -> FigureSpec:
 
 
 def full_registry() -> dict[str, FigureSpec]:
-    """The complete spec registry: §VII figures plus the ablations."""
-    from . import ablations  # noqa: F401  (import side effect: registers)
+    """The complete spec registry: §VII figures, the ablations, and the
+    chain-KV figure family."""
+    from . import ablations, chainfigs  # noqa: F401  (import: registers)
 
     return REGISTRY
 
@@ -181,10 +182,10 @@ def _messages(fast: bool) -> int:
 
 
 def board_counters(*worlds: World) -> dict[str, int]:
-    """Sum both nodes' Scoreboard counters across the point's worlds."""
+    """Sum every node's Scoreboard counters across the point's worlds."""
     out: dict[str, int] = {}
     for w in worlds:
-        for node in (w.bed.node0, w.bed.node1):
+        for node in w.bed.nodes:
             for name, value in node.board.counters.items():
                 out[name] = out.get(name, 0) + int(value)
     return out

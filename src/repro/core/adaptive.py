@@ -99,13 +99,13 @@ class AdaptiveJamSender:
         yield Delay(PreparedJam._UPDATE_NS)
         # data put (compact), then the slot-end signal byte; the fabric
         # delivers puts on a QP in order, so no fence is needed here.
-        req = rt.ep.put_nbi(rt.engine.now, self._local_staging, slot_addr,
-                            self._local_wire, conn.info.rkey, track=False)
+        req = conn.ep.put_nbi(rt.engine.now, self._local_staging, slot_addr,
+                              self._local_wire, conn.info.rkey, track=False)
         yield Delay(req.cpu_ns)
-        sig = rt.ep.put_nbi(rt.engine.now,
-                            self._local_staging + self._local_wire - 1,
-                            slot_addr + fsize - 1, 1, conn.info.rkey,
-                            track=False)
+        sig = conn.ep.put_nbi(rt.engine.now,
+                              self._local_staging + self._local_wire - 1,
+                              slot_addr + fsize - 1, 1, conn.info.rkey,
+                              track=False)
         yield Delay(sig.cpu_ns)
         conn.sends += 1
         return sig

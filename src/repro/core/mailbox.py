@@ -95,7 +95,7 @@ class Waiter:
 
     def __init__(self, runtime, mailbox: Mailbox,
                  on_frame: Optional[Callable] = None,
-                 flag_target: Optional[tuple[int, int]] = None,
+                 flag_target: Optional[tuple[int, int, int]] = None,
                  record_dispatch: bool = False,
                  core: Optional[int] = None):
         self.rt = runtime
@@ -110,7 +110,8 @@ class Waiter:
             from ..isa.vm import Vm
             self.vm = Vm(runtime.node, core=self.core,
                          intrinsics=runtime.intrinsics)
-        # (remote flag addr, rkey) on the sender, for bank flow control.
+        # (sender node id, remote flag addr, rkey): where bank flags are
+        # raised for flow control — addressed per peer on the fabric.
         self.flag_target = flag_target
         self.record_dispatch = record_dispatch
         self.stats = WaiterStats()
@@ -323,10 +324,11 @@ class Waiter:
                         self.stats.dispatch_times.append(rt.engine.now - t0)
                 self._rounds[bank] += 1
                 if self.flag_target is not None:
-                    # Raise the sender's flag for this bank: small put.
-                    flag_addr, rkey = self.flag_target
+                    # Raise the sender's flag for this bank: small put,
+                    # routed to the sending peer's node.
+                    peer, flag_addr, rkey = self.flag_target
                     rt.node.mem.write_u64(rt.flag_scratch, 1)
-                    req = rt.ep.put_nbi(rt.engine.now, rt.flag_scratch,
-                                        flag_addr + bank * 8, 8, rkey,
-                                        track=False)
+                    req = rt.ep_to(peer).put_nbi(
+                        rt.engine.now, rt.flag_scratch,
+                        flag_addr + bank * 8, 8, rkey, track=False)
                     yield Delay(req.cpu_ns)

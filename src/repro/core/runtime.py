@@ -40,10 +40,17 @@ from .toolchain import PackageBuild
 
 
 class TwoChainsRuntime:
-    """Per-process Two-Chains state."""
+    """Per-process Two-Chains state.
+
+    ``qp_out`` is either a single outbound :class:`QueuePair` (the
+    original two-node surface) or a mapping/list of outbound QPs — one
+    per peer — on an N-node fabric.  The worker opens one mini-UCX
+    endpoint per peer; ``self.ep`` stays the endpoint to the first peer
+    so two-node call sites keep working unchanged.
+    """
 
     def __init__(self, engine: Engine, node: Node, hca: Hca,
-                 qp_out: QueuePair, cfg: RuntimeConfig | None = None,
+                 qp_out, cfg: RuntimeConfig | None = None,
                  core: int = 0, ucp_cfg: UcpConfig | None = None):
         self.engine = engine
         self.node = node
@@ -55,10 +62,22 @@ class TwoChainsRuntime:
         self.loader = Loader(node, self.namespace)
         self.vm = Vm(node, core=core, intrinsics=self.intrinsics)
         self.worker = UcpWorker(engine, node, hca, ucp_cfg, core=core)
-        self.ep = self.worker.create_ep(qp_out)
+        if isinstance(qp_out, QueuePair):
+            qps = [qp_out]
+        elif isinstance(qp_out, dict):
+            qps = [qp_out[k] for k in sorted(qp_out)]
+        else:
+            qps = list(qp_out)
+        for qp in qps:  # ascending peer order: deterministic setup
+            self.worker.create_ep(qp)
+        self.ep = self.worker.ep_to(qps[0].dst.node.node_id) if qps else None
         self.packages: dict[int, LoadedPackage] = {}
         # 8-byte scratch cell used for flag puts back to senders.
         self.flag_scratch = node.map_region(64, PROT_RW, label="flagscratch")
+
+    def ep_to(self, peer: int):
+        """The mini-UCX endpoint addressing ``peer`` (a node id)."""
+        return self.worker.ep_to(peer)
 
     # -- checkpointing ----------------------------------------------------
 
@@ -75,7 +94,8 @@ class TwoChainsRuntime:
             "packages": dict(self.packages),
             "cfg": dict(vars(self.cfg)),
             "worker": self.worker.snapshot(),
-            "ep": self.ep.snapshot(),
+            "eps": {peer: ep.snapshot()
+                    for peer, ep in self.worker.eps.items()},
         }
 
     def restore(self, snap: dict) -> None:
@@ -83,7 +103,8 @@ class TwoChainsRuntime:
         for name, value in snap["cfg"].items():
             setattr(self.cfg, name, value)
         self.worker.restore(snap["worker"])
-        self.ep.restore(snap["ep"])
+        for peer, ep_snap in snap["eps"].items():
+            self.worker.eps[peer].restore(ep_snap)
 
     # -- setup ------------------------------------------------------------
 
@@ -139,6 +160,8 @@ class Connection:
     def __init__(self, sender: TwoChainsRuntime, receiver: TwoChainsRuntime,
                  mailbox: Mailbox, flow_control: bool = False):
         self.rt = sender
+        self.peer = receiver.node.node_id
+        self.ep = sender.ep_to(self.peer)
         self.info: MailboxInfo = mailbox.info()
         self.flow_control = flow_control
         self._remote: dict[tuple[int, int], _ElementRemote] = {}
@@ -178,8 +201,10 @@ class Connection:
 
     # -- info the receiver needs for flow control --------------------------
 
-    def flag_target(self) -> tuple[int, int]:
-        return self.flags_addr, self.flags_mr.rkey
+    def flag_target(self) -> tuple[int, int, int]:
+        """(sender node id, flag base address, rkey): where the receiver's
+        waiter raises bank flags, and on which peer."""
+        return self.rt.node.node_id, self.flags_addr, self.flags_mr.rkey
 
     # -- sending -----------------------------------------------------------
 
@@ -286,9 +311,9 @@ class Connection:
 
         slot_addr = (self.info.addr
                      + (bank * self.info.slots + slot) * self.info.frame_size)
-        req = rt.ep.put_nbi(rt.engine.now, self._staging, slot_addr,
-                            self.info.frame_size, self.info.rkey,
-                            track=False)
+        req = self.ep.put_nbi(rt.engine.now, self._staging, slot_addr,
+                              self.info.frame_size, self.info.rkey,
+                              track=False)
         if _T.enabled:
             _T.span(node_pid(node.node_id), rt.core, "am.post",
                     rt.engine.now, rt.engine.now + req.cpu_ns)
@@ -381,7 +406,7 @@ class PreparedJam:
         if conn.flow_control and slot == 0:
             yield from conn._wait_bank_free(bank)
         fsize = conn.info.frame_size
-        ordered = rt.hca.link.enforces_ordering
+        ordered = conn.ep.qp.link.enforces_ordering
         # seq lives at header byte 4; the signal byte is last.
         rt.node.mem.write_u8(self.staging + 4, seq)
         rt.node.mem.write_u8(self.staging + fsize - 1,
@@ -394,19 +419,19 @@ class PreparedJam:
         yield Delay(self._UPDATE_NS)
         slot_addr = (conn.info.addr
                      + (bank * conn.info.slots + slot) * fsize)
-        req = rt.ep.put_nbi(rt.engine.now, self.staging, slot_addr,
-                            fsize, conn.info.rkey, track=False)
+        req = conn.ep.put_nbi(rt.engine.now, self.staging, slot_addr,
+                              fsize, conn.info.rkey, track=False)
         if _T.enabled:
             _T.span(node_pid(rt.node.node_id), rt.core, "am.post",
                     rt.engine.now, rt.engine.now + req.cpu_ns)
         yield Delay(req.cpu_ns)  # the post's software path is serial work
         if not ordered:
             # fence, then the signal byte in its own put
-            rt.ep.qp.fence()
+            conn.ep.qp.fence()
             rt.node.mem.write_u8(self.staging + fsize - 1, seq)
-            req = rt.ep.put_nbi(rt.engine.now, self.staging + fsize - 1,
-                                slot_addr + fsize - 1, 1, conn.info.rkey,
-                                track=False)
+            req = conn.ep.put_nbi(rt.engine.now, self.staging + fsize - 1,
+                                  slot_addr + fsize - 1, 1, conn.info.rkey,
+                                  track=False)
             if _T.enabled:
                 _T.span(node_pid(rt.node.node_id), rt.core, "am.post",
                         rt.engine.now, rt.engine.now + req.cpu_ns,

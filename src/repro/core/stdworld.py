@@ -1,8 +1,12 @@
-"""Convenience construction of the standard two-node Two-Chains world.
+"""Convenience construction of Two-Chains worlds: the standard two-node
+testbed and arbitrary N-node fabrics.
 
-Used by tests, examples, and every benchmark driver: a back-to-back
-testbed with one Two-Chains runtime per node and the standard package
-(§VI-B jams) loaded on both sides.
+Used by tests, examples, and every benchmark driver: a world is a
+:class:`~repro.rdma.fabric.Fabric` (nodes + HCAs + QP mesh, described by
+a :class:`~repro.rdma.fabric.Topology`) with one Two-Chains runtime per
+node and a named package loaded on every side.  The default topology is
+the paper's back-to-back pair (§VI-C); ``Topology.chain(k)`` and custom
+topologies build the N-node worlds docs/TOPOLOGY.md describes.
 
 Beyond plain construction (:func:`make_world`), this module is the home
 of the **setup cache** (:class:`SetupCache` / :func:`shared_world`): a
@@ -20,9 +24,10 @@ import json
 import time
 from dataclasses import asdict, dataclass, is_dataclass
 
+from ..errors import TwoChainsError
 from ..machine.hierarchy import HierarchyConfig
 from ..obs.tracer import PID_SIM, TID_TOOL, TRACER as _T
-from ..rdma.fabric import Testbed
+from ..rdma.fabric import Fabric, Topology
 from ..rdma.params import LinkParams, DEFAULT_LINK
 from ..ucp.worker import UcpConfig
 from .config import RuntimeConfig
@@ -31,6 +36,13 @@ from .runtime import TwoChainsRuntime
 from .stdjams import build_std_package
 from .toolchain import PackageBuild
 
+#: Named package builders: worlds constructed from a *named* package are
+#: reproducible from their setup key alone (unlike ad-hoc ``build=``
+#: packages), so they participate in the setup cache.  Workload modules
+#: register their packages here on import (e.g. ``repro.workloads.chainkv``
+#: registers ``"chainkv"``).
+PACKAGE_BUILDERS = {"std": build_std_package}
+
 
 @dataclass
 class WorldCheckpoint:
@@ -38,28 +50,45 @@ class WorldCheckpoint:
 
     engine: tuple
     rngs: dict
-    node0: dict
-    node1: dict
-    hca0: tuple
-    hca1: tuple
-    qp01: tuple
-    qp10: tuple
-    client: dict
-    server: dict
+    nodes: list            # per-node dicts, in node-id order
+    hcas: list             # per-HCA tuples, in node-id order
+    qps: dict              # (src, dst) -> QueuePair tuple
+    runtimes: list         # per-runtime dicts, in node-id order
 
 
 @dataclass
 class World:
     __test__ = False  # not a pytest class
 
-    bed: Testbed
-    client: TwoChainsRuntime   # node0
-    server: TwoChainsRuntime   # node1
+    bed: Fabric
+    runtimes: list[TwoChainsRuntime]
     build: PackageBuild
 
     @property
     def engine(self):
         return self.bed.engine
+
+    @property
+    def topology(self) -> Topology:
+        return self.bed.topology
+
+    # node0/node1 keep their historical names on the two-node world; the
+    # fabric surface addresses every node by id or role.
+    @property
+    def client(self) -> TwoChainsRuntime:
+        return self.runtimes[0]
+
+    @property
+    def server(self) -> TwoChainsRuntime:
+        return self.runtimes[1]
+
+    def runtime(self, who) -> TwoChainsRuntime:
+        """The runtime of one node, by node id or role name."""
+        return self.runtimes[self.topology.resolve(who)]
+
+    def node(self, who):
+        """The machine node, by node id or role name."""
+        return self.bed.nodes[self.topology.resolve(who)]
 
     def frame_size_for(self, jam_name: str, payload_bytes: int,
                        inject: bool) -> int:
@@ -82,14 +111,10 @@ class World:
         return WorldCheckpoint(
             engine=bed.engine.snapshot(),
             rngs=bed.rngs.snapshot(),
-            node0=bed.node0.snapshot(),
-            node1=bed.node1.snapshot(),
-            hca0=bed.hca0.snapshot(),
-            hca1=bed.hca1.snapshot(),
-            qp01=bed.qp01.snapshot(),
-            qp10=bed.qp10.snapshot(),
-            client=self.client.snapshot(),
-            server=self.server.snapshot(),
+            nodes=[node.snapshot() for node in bed.nodes],
+            hcas=[hca.snapshot() for hca in bed.hcas],
+            qps={pair: qp.snapshot() for pair, qp in bed.qps.items()},
+            runtimes=[rt.snapshot() for rt in self.runtimes],
         )
 
     def restore(self, cp: WorldCheckpoint) -> None:
@@ -104,14 +129,14 @@ class World:
         bed = self.bed
         bed.engine.restore(cp.engine)
         bed.rngs.restore(cp.rngs)
-        bed.node0.restore(cp.node0)
-        bed.node1.restore(cp.node1)
-        bed.hca0.restore(cp.hca0)
-        bed.hca1.restore(cp.hca1)
-        bed.qp01.restore(cp.qp01)
-        bed.qp10.restore(cp.qp10)
-        self.client.restore(cp.client)
-        self.server.restore(cp.server)
+        for node, snap in zip(bed.nodes, cp.nodes):
+            node.restore(snap)
+        for hca, snap in zip(bed.hcas, cp.hcas):
+            hca.restore(snap)
+        for pair, snap in cp.qps.items():
+            bed.qps[pair].restore(snap)
+        for rt, snap in zip(self.runtimes, cp.runtimes):
+            rt.restore(snap)
 
 
 def make_world(hier_cfg: HierarchyConfig | None = None,
@@ -120,16 +145,47 @@ def make_world(hier_cfg: HierarchyConfig | None = None,
                link: LinkParams = DEFAULT_LINK,
                ucp_cfg: UcpConfig | None = None,
                build: PackageBuild | None = None,
-               seed: int | None = None) -> World:
-    bed = Testbed.create(hier_cfg=hier_cfg, link=link, seed=seed)
-    client = TwoChainsRuntime(bed.engine, bed.node0, bed.hca0, bed.qp01,
-                              cfg=client_cfg, ucp_cfg=ucp_cfg)
-    server = TwoChainsRuntime(bed.engine, bed.node1, bed.hca1, bed.qp10,
-                              cfg=server_cfg, ucp_cfg=ucp_cfg)
-    pkg_build = build if build is not None else build_std_package()
-    client.load_package(pkg_build)
-    server.load_package(pkg_build)
-    return World(bed=bed, client=client, server=server, build=pkg_build)
+               seed: int | None = None,
+               topology: Topology | None = None,
+               package: str = "std") -> World:
+    """Build a world: a fabric, one runtime per node, the package loaded
+    everywhere.
+
+    ``topology`` defaults to the two-node pair over ``link``; pass
+    ``Topology.chain(k)`` (or any custom Topology) for an N-node world.
+    ``client_cfg`` configures node 0 (the initiator by convention),
+    ``server_cfg`` every other node.  ``package`` names a registered
+    builder in :data:`PACKAGE_BUILDERS`; an explicit ``build`` overrides
+    it (and makes the world uncacheable — see :func:`world_setup_key`).
+    """
+    bed = Fabric.create(hier_cfg=hier_cfg, link=link, seed=seed,
+                        topology=topology)
+    runtimes = []
+    for i, (node, hca) in enumerate(zip(bed.nodes, bed.hcas)):
+        if i == 0:
+            cfg = client_cfg
+        elif i == 1 or server_cfg is None:
+            cfg = server_cfg
+        else:
+            # Nodes beyond the pair get their own config instance: a
+            # RuntimeConfig is mutable and must not alias across nodes.
+            cfg = RuntimeConfig(**vars(server_cfg))
+        runtimes.append(TwoChainsRuntime(bed.engine, node, hca,
+                                         bed.qps_from(i), cfg=cfg,
+                                         ucp_cfg=ucp_cfg))
+    if build is not None:
+        pkg_build = build
+    else:
+        try:
+            builder = PACKAGE_BUILDERS[package]
+        except KeyError:
+            raise TwoChainsError(
+                f"unknown world package {package!r}; registered: "
+                f"{sorted(PACKAGE_BUILDERS)}") from None
+        pkg_build = builder()
+    for rt in runtimes:
+        rt.load_package(pkg_build)
+    return World(bed=bed, runtimes=runtimes, build=pkg_build)
 
 
 # ---------------------------------------------------------------------------
@@ -152,7 +208,9 @@ def world_setup_key(hier_cfg: HierarchyConfig | None = None,
                     link: LinkParams = DEFAULT_LINK,
                     ucp_cfg: UcpConfig | None = None,
                     build: PackageBuild | None = None,
-                    seed: int | None = None) -> str | None:
+                    seed: int | None = None,
+                    topology: Topology | None = None,
+                    package: str = "std") -> str | None:
     """Canonical JSON key over everything :func:`make_world` consumes.
 
     Two calls with equal keys build byte-identical worlds, so their
@@ -170,6 +228,8 @@ def world_setup_key(hier_cfg: HierarchyConfig | None = None,
         "link": _jsonable(asdict(link)),
         "ucp": _jsonable(asdict(ucp_cfg)) if is_dataclass(ucp_cfg) else None,
         "seed": seed,
+        "topology": topology.canonical() if topology is not None else None,
+        "package": package,
     }
     return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 
@@ -243,7 +303,9 @@ def shared_world(hier_cfg: HierarchyConfig | None = None,
                  link: LinkParams = DEFAULT_LINK,
                  ucp_cfg: UcpConfig | None = None,
                  build: PackageBuild | None = None,
-                 seed: int | None = None) -> World:
+                 seed: int | None = None,
+                 topology: Topology | None = None,
+                 package: str = "std") -> World:
     """Drop-in for :func:`make_world` that goes through the setup cache.
 
     With the cache disabled (the default) or an uncacheable request this
@@ -252,7 +314,8 @@ def shared_world(hier_cfg: HierarchyConfig | None = None,
     """
     kwargs = dict(hier_cfg=hier_cfg, client_cfg=client_cfg,
                   server_cfg=server_cfg, link=link, ucp_cfg=ucp_cfg,
-                  build=build, seed=seed)
+                  build=build, seed=seed, topology=topology,
+                  package=package)
     if not SETUP_CACHE.enabled:
         return make_world(**kwargs)
     key = world_setup_key(**kwargs)

@@ -1,12 +1,14 @@
-"""RDMA verbs model: memory regions/rkeys, queue pairs, two-node fabric."""
+"""RDMA verbs model: memory regions/rkeys, queue pairs, N-node fabric."""
 
-from .fabric import Testbed
+from .fabric import Fabric, Testbed, Topology
 from .mr import Access, MemoryRegion, MrTable
 from .params import DEFAULT_LINK, LinkParams
 from .verbs import Completion, Hca, QueuePair, WcStatus, connect
 
 __all__ = [
     "Access",
+    "Fabric",
+    "Topology",
     "Completion",
     "DEFAULT_LINK",
     "Hca",

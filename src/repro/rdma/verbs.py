@@ -80,12 +80,19 @@ class Hca:
 
 
 class QueuePair:
-    """One direction of a reliable connection (create both via connect())."""
+    """One direction of a reliable connection (create both via connect()).
 
-    def __init__(self, engine: Engine, src: Hca, dst: Hca):
+    ``link`` is this pair's link model; it defaults to the source HCA's
+    link but may differ per peer on heterogeneous fabrics (the
+    ``Topology`` per-pair overrides land here).
+    """
+
+    def __init__(self, engine: Engine, src: Hca, dst: Hca,
+                 link: LinkParams | None = None):
         self.engine = engine
         self.src = src
         self.dst = dst
+        self.link = link if link is not None else src.link
         self._last_delivery = 0.0   # in-order delivery horizon
         self.puts_posted = 0
         self.puts_failed = 0
@@ -101,7 +108,7 @@ class QueuePair:
     def _schedule(self, size: int, now: float, src_addr: int | None
                   ) -> tuple[float, float, float]:
         """Returns (sender_free_at, delivered_at, occupancy_release)."""
-        link = self.src.link
+        link = self.link
         post_done = now + link.post_overhead_ns
         start = max(post_done, self.src.tx_busy_until)
         # Sender-side DMA read of the source buffer (may hit its LLC).
@@ -161,7 +168,7 @@ class QueuePair:
             except RkeyViolation:
                 comp.status = WcStatus.REMOTE_ACCESS_ERROR
                 self.puts_failed += 1
-                comp.completed_at = self.engine.now + self.src.link.ack_ns
+                comp.completed_at = self.engine.now + self.link.ack_ns
                 self.engine.call_at(comp.completed_at, comp.event.fire, comp)
                 return
             node = self.dst.node
@@ -181,7 +188,7 @@ class QueuePair:
             self.dst.bytes_rx += size
             comp.delivered_at = self.engine.now
             node.notify_write(dst_addr, size)
-            comp.completed_at = self.engine.now + self.src.link.ack_ns
+            comp.completed_at = self.engine.now + self.link.ack_ns
             self.engine.call_at(comp.completed_at, comp.event.fire, comp)
 
         self.engine.call_at(delivered, deliver)
@@ -197,7 +204,7 @@ class QueuePair:
         now = max(now, self.engine.now)
         comp = Completion(op="get", size=size, posted_at=now,
                           event=self.engine.event("get.comp"))
-        link = self.src.link
+        link = self.link
         post_done = now + link.post_overhead_ns
         start = max(post_done, self.src.tx_busy_until)
         wire = link.wire_time_ns(size)
@@ -237,6 +244,14 @@ class QueuePair:
                                      self._last_delivery)
 
 
-def connect(engine: Engine, a: Hca, b: Hca) -> tuple[QueuePair, QueuePair]:
-    """Create the RC queue-pair pair between two HCAs (back-to-back)."""
-    return QueuePair(engine, a, b), QueuePair(engine, b, a)
+def connect(engine: Engine, a: Hca, b: Hca,
+            link_out: LinkParams | None = None,
+            link_back: LinkParams | None = None
+            ) -> tuple[QueuePair, QueuePair]:
+    """Create the RC queue-pair pair between two HCAs.
+
+    ``link_out``/``link_back`` override the link model per direction
+    (Topology per-pair links); by default each QP uses its source HCA's
+    link, like the original back-to-back cable."""
+    return (QueuePair(engine, a, b, link=link_out),
+            QueuePair(engine, b, a, link=link_back))

@@ -84,6 +84,9 @@ class UcpWorker:
         self.core = core
         self.bounce = node.map_region(self.cfg.bounce_bytes, PROT_RW,
                                       label="ucp.bounce")
+        # One endpoint per peer node, keyed by destination node id (the
+        # N-node fabric: a worker is connected to every reachable peer).
+        self.eps: dict[int, UcpEndpoint] = {}
         self.progress_calls = 0
         self.requests_issued = 0
 
@@ -96,7 +99,18 @@ class UcpWorker:
     def create_ep(self, qp: QueuePair) -> "UcpEndpoint":
         if qp.src is not self.hca:
             raise UcpError("endpoint must use a QP rooted at this worker's HCA")
-        return UcpEndpoint(self, qp)
+        ep = UcpEndpoint(self, qp)
+        self.eps[qp.dst.node.node_id] = ep
+        return ep
+
+    def ep_to(self, peer: int) -> "UcpEndpoint":
+        """The endpoint addressing ``peer`` (a node id)."""
+        try:
+            return self.eps[peer]
+        except KeyError:
+            raise UcpError(
+                f"worker on node {self.node.node_id} has no endpoint to "
+                f"node {peer}; peers: {sorted(self.eps)}") from None
 
     def snapshot(self) -> tuple:
         return self.progress_calls, self.requests_issued
@@ -175,7 +189,7 @@ class UcpEndpoint:
         cpu, eff_src = self._software_path(now, src_addr, size,
                                            zcopy_only=not track)
         # The doorbell/WQE write is CPU work on every path.
-        cpu += self.qp.src.link.post_overhead_ns
+        cpu += self.qp.link.post_overhead_ns
         if track:
             cpu += self.worker.cfg.request_track_ns
         self.worker.node.add_busy_ns(self.worker.core, cpu)

@@ -1,0 +1,194 @@
+"""Tests for the chain-replicated injected-function KV store
+(repro.workloads.chainkv, docs/TOPOLOGY.md): put/get correctness,
+replication to every chain node, multicast install, and
+relink-on-reconfig when a middle replica is dropped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stdworld import make_world
+from repro.errors import TwoChainsError
+from repro.workloads.chainkv import (
+    ChainKV,
+    chain_point,
+    chain_topology,
+)
+
+
+def chain_world(replicas: int):
+    return make_world(topology=chain_topology(replicas), package="chainkv")
+
+
+# ---------------------------------------------------------------------------
+# put / get correctness
+# ---------------------------------------------------------------------------
+
+class TestPutGet:
+    def test_put_then_get_roundtrip(self):
+        kv = ChainKV(chain_world(2))
+        value = b"injected-function kv".ljust(32, b".")
+        off = kv.put(42, value)
+        assert off == 0                  # first value lands at heap start
+        assert kv.get(42) == value
+        kv.shutdown()
+
+    def test_get_missing_key_returns_none(self):
+        kv = ChainKV(chain_world(1))
+        kv.put(1, b"present")
+        assert kv.get(999) is None
+        kv.shutdown()
+
+    def test_overwrite_reuses_the_slot(self):
+        kv = ChainKV(chain_world(2))
+        off1 = kv.put(7, b"A" * 48)
+        off2 = kv.put(7, b"B" * 48)
+        assert off1 == off2              # same key+size overwrites in place
+        assert kv.get(7) == b"B" * 48
+        kv.shutdown()
+
+    def test_values_replicate_to_every_chain_node(self):
+        kv = ChainKV(chain_world(3))
+        for i in range(5):
+            kv.put(100 + i, bytes([65 + i]) * 24)
+        # every replica applied every put (the jam ran k times per put)
+        assert [kv.put_count(i) for i in kv.replicas] == [5, 5, 5]
+        kv.shutdown()
+
+    def test_value_size_limits(self):
+        kv = ChainKV(chain_world(1), value_bytes=64)
+        with pytest.raises(TwoChainsError):
+            kv.put(1, b"x" * 65)
+        with pytest.raises(TwoChainsError):
+            kv.put(1, b"")
+        kv.shutdown()
+
+    def test_needs_a_chain_topology(self):
+        with pytest.raises(TwoChainsError, match="chain"):
+            ChainKV(make_world())
+
+
+# ---------------------------------------------------------------------------
+# multicast install
+# ---------------------------------------------------------------------------
+
+class TestMulticast:
+    def test_one_sweep_installs_on_every_replica(self):
+        kv = ChainKV(chain_world(3))
+        elapsed = kv.multicast_install()
+        assert elapsed > 0
+        assert [kv.install_count(i) for i in kv.replicas] == [1, 1, 1]
+        kv.multicast_install()
+        assert [kv.install_count(i) for i in kv.replicas] == [2, 2, 2]
+        kv.shutdown()
+
+    def test_longer_chains_amortize_the_sweep(self):
+        w1, w4 = chain_world(1), chain_world(4)
+        out1 = chain_point(w1, warmup=0, iters=0, mcast_iters=3)
+        out4 = chain_point(w4, warmup=0, iters=0, mcast_iters=3)
+        per1 = min(out1.mcast_ns) / 1
+        per4 = min(out4.mcast_ns) / 4
+        assert per4 < per1               # posts overlap earlier flights
+
+
+# ---------------------------------------------------------------------------
+# relink-on-reconfig
+# ---------------------------------------------------------------------------
+
+def run_ops(kv, ops):
+    """Apply (op, key, value) tuples; return the client-visible rows."""
+    rows = []
+    for op, key, value in ops:
+        if op == "put":
+            rows.append(("put", key, kv.put(key, value)))
+        else:
+            rows.append(("get", key, kv.get(key)))
+    return rows
+
+
+PRE_OPS = [("put", 10, b"a" * 40), ("put", 11, b"b" * 40),
+           ("get", 10, None), ("put", 12, b"c" * 40)]
+POST_OPS = [("put", 13, b"d" * 40), ("get", 11, None),
+            ("put", 10, b"A" * 40), ("get", 10, None), ("get", 13, None),
+            ("get", 99, None)]
+
+
+class TestRelink:
+    def test_drop_validates_the_target(self):
+        kv = ChainKV(chain_world(3))
+        with pytest.raises(TwoChainsError, match="middle"):
+            kv.drop_replica(kv.head)
+        with pytest.raises(TwoChainsError, match="middle"):
+            kv.drop_replica(kv.tail)
+        with pytest.raises(TwoChainsError, match="not a live replica"):
+            kv.drop_replica(0)
+        kv.shutdown()
+
+    def test_relink_patches_the_got_to_the_successor(self):
+        w = chain_world(3)
+        kv = ChainKV(w)
+        kv.put(1, b"seed" * 8)
+        conn = kv.drop_replica(2)
+        # the new connection's frames carry the successor's element-GOT
+        # address — the GOT patch the paper's relink performs
+        art = w.build.jam("jam_chain_put")
+        remote = conn._remote[(w.build.package_id, art.element_id)]
+        assert remote.got_addr == kv.element_got_addr(3, "jam_chain_put")
+        assert kv.replicas == [1, 3]
+        kv.shutdown()
+
+    def test_dropped_chain_matches_fresh_shorter_chain(self):
+        """Drop a middle replica mid-sweep: subsequent puts/gets must
+        produce exactly the rows a fresh (k-1)-chain produces for the
+        same operation sequence."""
+        kv3 = ChainKV(chain_world(3))
+        pre = run_ops(kv3, PRE_OPS)
+        kv3.drop_replica(2)
+        post = run_ops(kv3, POST_OPS)
+        survivors = [kv3.put_count(i) for i in kv3.replicas]
+        kv3.shutdown()
+
+        kv2 = ChainKV(chain_world(2))
+        pre_f = run_ops(kv2, PRE_OPS)
+        post_f = run_ops(kv2, POST_OPS)
+        fresh = [kv2.put_count(i) for i in kv2.replicas]
+        kv2.shutdown()
+
+        assert pre == pre_f
+        assert post == post_f            # identical offsets and values
+        assert survivors == fresh        # surviving stores applied the same
+
+    def test_puts_keep_flowing_through_the_relinked_chain(self):
+        kv = ChainKV(chain_world(4))
+        kv.put(5, b"before" * 4)
+        kv.drop_replica(3)
+        kv.put(6, b"after!" * 4)
+        assert kv.get(5) == b"before" * 4
+        assert kv.get(6) == b"after!" * 4
+        # the dropped node applied only the pre-drop put
+        assert [kv.put_count(i) for i in kv.replicas] == [2, 2, 2]
+        assert kv.put_count(3) == 1
+        kv.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# benchmark-point physics
+# ---------------------------------------------------------------------------
+
+class TestChainPoint:
+    def test_put_scales_with_k_get_stays_flat(self):
+        out1 = chain_point(chain_world(1), warmup=1, iters=4)
+        out3 = chain_point(chain_world(3), warmup=1, iters=4)
+        assert min(out3.put_ns) > max(out1.put_ns)     # +2 hops of latency
+        # tail distance is fixed regardless of k (modulo float roundoff
+        # from the differing absolute sim clocks)
+        assert out3.get_ns == pytest.approx(out1.get_ns)
+
+    def test_streaming_puts_pipeline(self):
+        out = chain_point(chain_world(2), warmup=1, iters=2, stream_count=24)
+        assert out.stream_count == 24
+        # pipelined rate beats serial round-trips: elapsed must be well
+        # under count * p50(serial put)
+        assert out.stream_elapsed_ns < 24 * min(out.put_ns)
+        assert out.put_rate_mps > 0
