@@ -13,6 +13,9 @@ Entries (x-axis is categorical for most):
 * ``abl_prefetch``  — prefetcher x stashing 2x2 factorial latency
 * ``abl_security``  — latency cost of the §V security reconfigurations
 * ``abl_got``       — GOT rewrite pass: structural before/after counts
+* ``abl_tracejit``  — loop-based (non-intrinsic) sum latency vs payload;
+  the one sweep whose jam carries a hot guest loop, so it exercises the
+  VM's cross-branch trace JIT (rows are identical with ``--no-trace``)
 """
 
 from __future__ import annotations
@@ -371,6 +374,51 @@ register(FigureSpec(
     directions={"p50_ns": "lower"},
     notes="receiver-inserted GOTP is near-free (~one store); W^X staging "
           "pays an mprotect + copy per message",
+))
+
+
+# ---------------------------------------------------------------------------
+# abl_tracejit: hot guest loop latency (the trace-JIT workload)
+# ---------------------------------------------------------------------------
+
+def _points_tracejit(fast: bool) -> list[dict]:
+    sizes = (256, 1024, 4096) if fast else (256, 1024, 4096, 16384)
+    return [{"payload_bytes": nb, "warmup": 6, "iters": 16}
+            for nb in sizes]
+
+
+def _point_tracejit(payload_bytes: int, warmup: int, iters: int) -> dict:
+    world = shared_world()
+    out = am_pingpong(world, "jam_ss_sum_naive", payload_bytes,
+                      warmup=warmup, iters=iters)
+    return {"x": payload_bytes, "p50_ns": out.stats.p50,
+            "server_cycles_per_msg": out.server_cycles_per_iter,
+            "_counters": board_counters(world)}
+
+
+def _metrics_tracejit(r: FigureResult) -> dict:
+    out: dict[str, float] = {}
+    if len(r.x) >= 2:
+        words = (r.x[-1] - r.x[0]) / 4
+        p50 = r.series["p50_ns"]
+        out["loop_ns_per_word"] = (p50[-1] - p50[0]) / words
+    return out
+
+
+register(FigureSpec(
+    name="abl_tracejit",
+    title="Ablation: loop-based Server-Side Sum latency vs payload size",
+    x_label="payload bytes",
+    points=_points_tracejit,
+    point=_point_tracejit,
+    metrics=_metrics_tracejit,
+    directions={"p50_ns": "lower"},
+    notes="jam_ss_sum_naive sums with a guest-code loop instead of the "
+          "tc_sum32 intrinsic, so per-message latency scales with the "
+          "payload word count and the summation loop goes hot — the "
+          "workload the VM's cross-branch trace JIT compiles; simulated "
+          "rows are byte-identical under --no-trace",
+    setup_key="std",
 ))
 
 

@@ -161,7 +161,7 @@ def _exec_point(task: tuple[str, dict, bool]
             hits1 - hits0, misses1 - misses0)
 
 
-def _exec_group(task: tuple[list[tuple[str, dict, bool]], bool, bool]
+def _exec_group(task: tuple[list[tuple[str, dict, bool]], bool, bool, bool]
                 ) -> list[tuple[dict, float, dict, dict | None, int, int]]:
     """Pool worker: run one setup-key group of sweep points, in order.
 
@@ -170,13 +170,16 @@ def _exec_group(task: tuple[list[tuple[str, dict, bool]], bool, bool]
     forks the warm worlds its predecessors built instead of repaying
     the build+link prefix.  The cache is torn down afterwards — pool
     workers may process several groups and must not leak worlds between
-    them.  ``fuse`` carries the VM fusion switch into pool workers
-    (process-global state does not travel with the task otherwise).
+    them.  ``fuse`` and ``trace_jit`` carry the VM compilation-tier
+    switches into pool workers (process-global state does not travel
+    with the task otherwise).
     """
-    group, fork, fuse = task
+    group, fork, fuse, trace_jit = task
     from ..isa import vm as _vm
     prev_fuse = _vm.fusion_enabled()
+    prev_trace = _vm.trace_jit_enabled()
     _vm.set_fusion(fuse)
+    _vm.set_trace_jit(trace_jit)
     if fork:
         SETUP_CACHE.enabled = True
         SETUP_CACHE.clear()
@@ -186,6 +189,7 @@ def _exec_group(task: tuple[list[tuple[str, dict, bool]], bool, bool]
         SETUP_CACHE.enabled = False
         SETUP_CACHE.clear()
         _vm.set_fusion(prev_fuse)
+        _vm.set_trace_jit(prev_trace)
 
 
 def resolve_jobs(jobs: int | str) -> int:
@@ -232,7 +236,8 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
                 smoke: bool = False, jobs: int | str = 1,
                 store: ResultStore | None = None,
                 trace: bool = False, fork: bool = True,
-                fuse: bool = True, log=None) -> list[FigureRun]:
+                fuse: bool = True, trace_jit: bool = True,
+                log=None) -> list[FigureRun]:
     """Run the requested sweeps, reusing cached points, fanning out misses.
 
     ``smoke`` keeps only the first point of every sweep (the CI target).
@@ -249,6 +254,9 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
     ``fuse=False`` (``--no-fuse``) disables the VM's basic-block fusion
     JIT for the whole run — measured rows are identical either way (the
     fusion-identity tests pin this); only wall-clock differs.
+    ``trace_jit=False`` (``--no-trace``) likewise disables the
+    cross-branch trace tier layered on fusion; the trace-identity tests
+    pin row equality, so only wall-clock differs.
     """
     names = resolve_names(names)
     registry = full_registry()
@@ -285,7 +293,7 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
             + ("" if fork else ", fork disabled"))
 
     if group_tasks:
-        payload = [(g, fork, fuse) for g in group_tasks]
+        payload = [(g, fork, fuse, trace_jit) for g in group_tasks]
         if jobs > 1 and len(group_tasks) > 1:
             with multiprocessing.Pool(min(jobs, len(group_tasks))) as pool:
                 group_outs = pool.map(_exec_group, payload, chunksize=1)
@@ -341,7 +349,7 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
 
 def build_meta(*, fast: bool, smoke: bool, jobs: int,
                trace: bool = False, fork: bool = True,
-               fuse: bool = True) -> dict:
+               fuse: bool = True, trace_jit: bool = True) -> dict:
     """Host/run metadata shared by every figure payload of one run.
 
     Everything here is allowed to differ between two otherwise identical
@@ -361,6 +369,7 @@ def build_meta(*, fast: bool, smoke: bool, jobs: int,
         "trace": trace,
         "fork": fork,
         "fuse": fuse,
+        "trace_jit": trace_jit,
     }
 
 

@@ -147,6 +147,67 @@ class SetAssocCache:
         self.dirty[sidx][way] = dirty
         return evicted
 
+    def install_many(self, line_addrs) -> int:
+        """Bulk clean-fill; returns the count of dirty lines evicted.
+
+        Semantically identical to calling :meth:`install` once per element
+        with ``dirty=False`` — same tick sequence, same eviction decisions —
+        but with the per-call attribute lookups hoisted.  Exists for the
+        stress workload's LLC-pollution loop, which installs tens of
+        millions of lines per noise-heavy figure.
+        """
+        tick = self._tick
+        mask = self._set_mask
+        mp = self._map
+        mget = mp.get
+        tags = self.tags
+        tget = tags.get
+        lru = self.lru
+        dirty = self.dirty
+        ways = self.ways
+        evictions = 0
+        ndirty = 0
+        # Steady state for a polluted cache: every allocated set is full,
+        # so the invalid-way scan below cannot find anything — skip it.
+        # Allocating a fresh set re-arms the scan; a stale False is safe
+        # (it just falls back to the scan), a stale True is impossible
+        # (evictions keep occupancy constant, fills only grow it).
+        full = len(mp) == len(tags) * ways
+        for line_addr in line_addrs:
+            tick += 1
+            way = mget(line_addr)
+            if way is not None:
+                lru[line_addr & mask][way] = tick
+                continue
+            sidx = line_addr & mask
+            row = tget(sidx)
+            if row is None:
+                row = tags[sidx] = [-1] * ways
+                lrow = lru[sidx] = [0] * ways
+                dirty[sidx] = [False] * ways
+                way = 0
+                full = False
+            elif full or -1 not in row:
+                lrow = lru[sidx]
+                way = lrow.index(min(lrow))
+                drow = dirty[sidx]
+                if drow[way]:
+                    ndirty += 1
+                    drow[way] = False
+                del mp[row[way]]
+                evictions += 1
+            else:
+                # Invalid ways carry dirty=False (invalidate and snoop
+                # reset it), so only the eviction path must clear it.
+                way = row.index(-1)
+                lrow = lru[sidx]
+            row[way] = line_addr
+            mp[line_addr] = way
+            lrow[way] = tick
+        self._tick = tick
+        self.evictions += evictions
+        return ndirty
+
     def invalidate(self, line_addr: int) -> bool:
         """Drop a line if present; returns whether it was dirty."""
         way = self._map.pop(line_addr, None)

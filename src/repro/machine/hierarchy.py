@@ -119,7 +119,10 @@ class MemoryHierarchy:
         per-call formulation exactly.
         """
         charge = self.dram.charge_bandwidth
-        # L1 leg: the only level that can install dirty.
+        # L1 leg: the only level that can install dirty.  Invalid ways
+        # always carry dirty=False (invalidate/snoop reset it), so the
+        # dirty bit is only written when it can actually change: on a
+        # dirty fill, or when clearing an evicted dirty way.
         m = l1._map
         l1._tick = tick = l1._tick + 1
         sidx = line & l1._set_mask
@@ -135,53 +138,59 @@ class MemoryHierarchy:
             if row is None:
                 w = l1.ways
                 row = tags[sidx] = [-1] * w
-                lru[sidx] = [0] * w
+                lrow = lru[sidx] = [0] * w
                 l1.dirty[sidx] = [False] * w
                 way = 0  # fresh set: every way is free
             elif -1 in row:
                 way = row.index(-1)
+                lrow = lru[sidx]
             else:
-                lru_row = lru[sidx]
-                way = lru_row.index(min(lru_row))
-                if l1.dirty[sidx][way]:
+                lrow = lru[sidx]
+                way = lrow.index(min(lrow))
+                drow = l1.dirty[sidx]
+                if drow[way]:
                     charge(now, 1)
+                    drow[way] = False
                 del m[row[way]]
                 l1.evictions += 1
             row[way] = line
             m[line] = way
-            lru[sidx][way] = tick
-            l1.dirty[sidx][way] = dirty
+            lrow[way] = tick
+            if dirty:
+                l1.dirty[sidx][way] = True
         # Clean legs (L2 -> L3 -> LLC): identical walk, dirty never set.
         for cache in self._clean_fill[core]:
             m = cache._map
             cache._tick = tick = cache._tick + 1
-            sidx = line & cache._set_mask
-            lru = cache.lru
             way = m.get(line)
+            lru = cache.lru
             if way is not None:  # refresh (typical for the LLC level)
-                lru[sidx][way] = tick
+                lru[line & cache._set_mask][way] = tick
                 continue
+            sidx = line & cache._set_mask
             tags = cache.tags
             row = tags.get(sidx)
             if row is None:
                 w = cache.ways
                 row = tags[sidx] = [-1] * w
-                lru[sidx] = [0] * w
+                lrow = lru[sidx] = [0] * w
                 cache.dirty[sidx] = [False] * w
                 way = 0
             elif -1 in row:
                 way = row.index(-1)
+                lrow = lru[sidx]
             else:
-                lru_row = lru[sidx]
-                way = lru_row.index(min(lru_row))
-                if cache.dirty[sidx][way]:
+                lrow = lru[sidx]
+                way = lrow.index(min(lrow))
+                drow = cache.dirty[sidx]
+                if drow[way]:
                     charge(now, 1)
+                    drow[way] = False
                 del m[row[way]]
                 cache.evictions += 1
             row[way] = line
             m[line] = way
-            lru[sidx][way] = tick
-            cache.dirty[sidx][way] = False
+            lrow[way] = tick
 
     # ------------------------------------------------------------------
     def access_line(self, now: float, core: int, line: int, kind: str) -> float:
@@ -469,38 +478,46 @@ class MemoryHierarchy:
             # dirty evictions charge the DRAM ledger exactly as before.
             llc = self.llc
             m, tags, lru, dirty = llc._map, llc.tags, llc.lru, llc.dirty
+            mget = m.get
+            tget = tags.get
             mask = llc._set_mask
             w = llc.ways
             charge = self.dram.charge_bandwidth
             tick = llc._tick
             evictions = 0
+            # Same steady-state shortcut as SetAssocCache.install_many:
+            # once every allocated set is full the invalid-way scan can
+            # never hit, so skip it per line.
+            full = len(m) == len(tags) * w
             for line in lines:
                 tick += 1
-                sidx = line & mask
-                way = m.get(line)
+                way = mget(line)
                 if way is not None:  # refresh
+                    sidx = line & mask
                     lru[sidx][way] = tick
                     dirty[sidx][way] = True
                     continue
-                row = tags.get(sidx)
+                sidx = line & mask
+                row = tget(sidx)
                 if row is None:
                     row = tags[sidx] = [-1] * w
-                    lru[sidx] = [0] * w
+                    lrow = lru[sidx] = [0] * w
                     dirty[sidx] = [False] * w
                     way = 0  # fresh set: every way is free
-                elif -1 in row:
-                    way = row.index(-1)
-                else:
-                    lru_row = lru[sidx]
-                    way = lru_row.index(min(lru_row))
-                    old_line = row[way]
+                    full = False
+                elif full or -1 not in row:
+                    lrow = lru[sidx]
+                    way = lrow.index(min(lrow))
                     if dirty[sidx][way]:
                         charge(now, 1)
-                    del m[old_line]
+                    del m[row[way]]
                     evictions += 1
+                else:
+                    way = row.index(-1)
+                    lrow = lru[sidx]
                 row[way] = line
                 m[line] = way
-                lru[sidx][way] = tick
+                lrow[way] = tick
                 dirty[sidx][way] = True
             llc._tick = tick
             llc.evictions += evictions

@@ -200,13 +200,27 @@ class Engine:
         self._running = True
         t_start = self.now
         executed = 0
+        # The pop/dispatch below is step() inlined: the noise-heavy figures
+        # execute tens of millions of events per run, so the per-event
+        # attribute lookups (self._heap, heapq.heappop, _T.enabled) are
+        # hoisted out of the loop.  step() stays for external callers.
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                t = self._heap[0][0]
+            while heap:
+                t = heap[0][0]
                 if until is not None and t > until:
                     self.now = until
                     return
-                self.step()
+                t, _seq, fn, args = pop(heap)
+                self.now = t
+                if _T.enabled:
+                    owner = getattr(fn, "__self__", None)
+                    label = getattr(owner, "name", None)
+                    if not isinstance(label, str):
+                        label = getattr(fn, "__qualname__", "callback")
+                    _T.instant(PID_SIM, TID_DES, label, t)
+                fn(*args)
                 executed += 1
                 if executed > max_events:
                     raise SimulationError(

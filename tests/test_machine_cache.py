@@ -97,6 +97,34 @@ class TestSetAssocCache:
             c.probe(ln)
         assert (c.hits, c.misses, c.occupancy) == before
 
+    @settings(max_examples=60, deadline=None)
+    @given(
+        warm=st.lists(st.integers(0, 2**12), max_size=80),
+        dirty_lines=st.lists(st.integers(0, 2**12), max_size=20),
+        bulk=st.lists(st.integers(0, 2**12), min_size=1, max_size=300),
+    )
+    def test_property_install_many_equivalent_to_install_loop(
+            self, warm, dirty_lines, bulk):
+        """install_many(L) must leave the exact state a dirty=False
+        install() loop leaves — tags, LRU ticks, dirty bits, stats —
+        and return the same dirty-eviction count, from any starting
+        state (including dirty residents and partially filled sets)."""
+        a = SetAssocCache("a", 4096, 2)
+        b = SetAssocCache("b", 4096, 2)
+        for ln in warm:
+            a.install(ln)
+            b.install(ln)
+        for ln in dirty_lines:
+            a.install(ln, dirty=True)
+            b.install(ln, dirty=True)
+        ndirty = 0
+        for ln in bulk:
+            ev = a.install(ln)
+            if ev is not None and ev[1]:
+                ndirty += 1
+        assert b.install_many(bulk) == ndirty
+        assert b.snapshot() == a.snapshot()
+
 
 class TestLinesTouched:
     def test_within_one_line(self):
