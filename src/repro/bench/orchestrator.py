@@ -39,6 +39,8 @@ from pathlib import Path
 
 from ..core.stdworld import SETUP_CACHE
 from ..obs.attribution import phase_breakdown, phase_durations
+from ..obs.metrics import METRICS, merge_snapshots, metrics_block
+from ..obs.slo import DEFAULT_HEALTH_THRESHOLD_PCT, health_diff_payloads
 from ..obs.tracer import TRACER
 from ..perf import COUNTERS, throughput
 from ..sim.rng import DEFAULT_SEED
@@ -74,6 +76,10 @@ class PointRecord:
     # fork-disabled runs)
     setup_hits: int = 0
     setup_misses: int = 0
+    # stable-metrics snapshot captured while the point ran (or recalled
+    # from the result cache — it is as deterministic as the row itself);
+    # None when the run had metrics disabled
+    metrics: dict | None = None
 
 
 @dataclass
@@ -116,6 +122,16 @@ class FigureRun:
                     merged.setdefault(name, []).extend(durs)
         return merged
 
+    @property
+    def metrics_snapshot(self) -> dict | None:
+        """Figure-level metrics snapshot: the per-point stable snapshots
+        merged in sweep order (so parallel runs reproduce serial ones
+        byte for byte), or None unless every point carried one."""
+        if not self.points or any(rec.metrics is None
+                                  for rec in self.points):
+            return None
+        return merge_snapshots([rec.metrics for rec in self.points])
+
 
 def resolve_names(names: list[str] | None) -> list[str]:
     """Validate figure names against the registry (None = everything)."""
@@ -130,39 +146,51 @@ def resolve_names(names: list[str] | None) -> list[str]:
     return list(names)
 
 
-def _exec_point(task: tuple[str, dict, bool]
-                ) -> tuple[dict, float, dict, dict | None, int, int]:
+def _exec_point(task: tuple[str, dict, bool, bool]
+                ) -> tuple[dict, float, dict, dict | None, dict | None,
+                           int, int]:
     """Run one sweep point in the current process.
 
     Returns (row, elapsed seconds, SimCounters delta, phase durations,
-    setup-cache hits, setup-cache misses).  Counters are process-wide,
-    so the delta — not the absolute value — is what ships back from pool
-    workers; the parent sums deltas per figure.  With ``trace`` set the
-    point runs under the structured tracer and the span durations travel
-    back as a plain name -> [dur_ns] dict (the Tracer itself never
-    crosses the process boundary).
+    metrics snapshot, setup-cache hits, setup-cache misses).  Counters
+    are process-wide, so the delta — not the absolute value — is what
+    ships back from pool workers; the parent sums deltas per figure.
+    With ``trace`` set the point runs under the structured tracer and
+    the span durations travel back as a plain name -> [dur_ns] dict
+    (the Tracer itself never crosses the process boundary); likewise
+    ``metrics`` captures the registry and ships back its plain-dict
+    stable snapshot.
     """
-    name, params, trace = task
+    name, params, trace, metrics = task
     spec = full_registry()[name]
     before = COUNTERS.snapshot()
     hits0, misses0 = SETUP_CACHE.counts()
     SETUP_CACHE.begin_point()
     phases = None
+    msnap = None
     t0 = time.perf_counter()
+    if metrics:
+        METRICS.attach()
     if trace:
         with TRACER.capture():
             row = spec.point(**params)
             phases = phase_durations(TRACER.events)
     else:
         row = spec.point(**params)
+    if metrics:
+        METRICS.detach()
+        msnap = METRICS.snapshot(stable_only=True)
+        METRICS.clear()
     elapsed = time.perf_counter() - t0
     hits1, misses1 = SETUP_CACHE.counts()
-    return (row, elapsed, COUNTERS.delta(before), phases,
+    return (row, elapsed, COUNTERS.delta(before), phases, msnap,
             hits1 - hits0, misses1 - misses0)
 
 
-def _exec_group(task: tuple[list[tuple[str, dict, bool]], bool, bool, bool]
-                ) -> list[tuple[dict, float, dict, dict | None, int, int]]:
+def _exec_group(task: tuple[list[tuple[str, dict, bool, bool]],
+                            bool, bool, bool]
+                ) -> list[tuple[dict, float, dict, dict | None, dict | None,
+                                int, int]]:
     """Pool worker: run one setup-key group of sweep points, in order.
 
     The whole group runs in this process with the world setup cache
@@ -203,9 +231,9 @@ def resolve_jobs(jobs: int | str) -> int:
 
 
 def _group_pending(pending: list[tuple[str, int]], plan_by_name: dict,
-                   registry: dict, trace: bool,
+                   registry: dict, trace: bool, metrics: bool,
                    timings: TimingStore | None
-                   ) -> list[list[tuple[str, dict, bool]]]:
+                   ) -> list[list[tuple[str, dict, bool, bool]]]:
     """Bucket uncached points into setup-key groups, longest-first.
 
     Group membership follows each spec's ``setup_key_for``; ordering is
@@ -215,13 +243,13 @@ def _group_pending(pending: list[tuple[str, int]], plan_by_name: dict,
     and running them fills in the history).  Points keep sweep order
     inside their group.
     """
-    groups: dict[str, list[tuple[str, dict, bool]]] = {}
+    groups: dict[str, list[tuple[str, dict, bool, bool]]] = {}
     expected: dict[str, float] = {}
     unknown: dict[str, bool] = {}
     for name, i in pending:
         params = plan_by_name[name][i]
         gkey = canonical_json(registry[name].setup_key_for(params))
-        groups.setdefault(gkey, []).append((name, params, trace))
+        groups.setdefault(gkey, []).append((name, params, trace, metrics))
         hist = timings.get(name, params) if timings else None
         if hist is None:
             unknown[gkey] = True
@@ -237,6 +265,7 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
                 store: ResultStore | None = None,
                 trace: bool = False, fork: bool = True,
                 fuse: bool = True, trace_jit: bool = True,
+                metrics: bool = True,
                 log=None) -> list[FigureRun]:
     """Run the requested sweeps, reusing cached points, fanning out misses.
 
@@ -257,6 +286,11 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
     ``trace_jit=False`` (``--no-trace``) likewise disables the
     cross-branch trace tier layered on fusion; the trace-identity tests
     pin row equality, so only wall-clock differs.
+    ``metrics`` (default on; ``--no-metrics`` clears it) captures the
+    sim-time metrics registry around every executed point.  The stable
+    snapshot is a deterministic pure function of the point, so — unlike
+    tracing — it is cached next to the row, and cache entries that
+    predate the metrics field simply count as misses and refresh.
     """
     names = resolve_names(names)
     registry = full_registry()
@@ -274,16 +308,19 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
         records[name] = [None] * len(points)
         for i, params in enumerate(points):
             key = store.key_for(name, params) if store else None
-            row = store.get(key) if (store and not trace) else None
-            if row is not None:
-                records[name][i] = PointRecord(params, row, True, key)
+            entry = (store.get_entry(key, require_metrics=metrics)
+                     if (store and not trace) else None)
+            if entry is not None:
+                records[name][i] = PointRecord(
+                    params, entry["row"], True, key,
+                    metrics=entry.get("metrics") if metrics else None)
             else:
                 pending.append((name, i))
 
     plan_by_name = dict(plans)
     timings = TimingStore(store.root) if store else None
     group_tasks = _group_pending(pending, plan_by_name, registry, trace,
-                                 timings)
+                                 metrics, timings)
 
     if log and pending:
         log(f"bench: {sum(len(p) for _, p in plans)} points, "
@@ -303,21 +340,22 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
         # groups reorder across figures, never within one sweep.
         out_by_task: dict[str, tuple] = {}
         for group, outs in zip(group_tasks, group_outs):
-            for (name, params, _trace), result in zip(group, outs):
+            for (name, params, _trace, _metrics), result in zip(group, outs):
                 out_by_task[canonical_json([name, params])] = result
         for name, i in pending:
             params = plan_by_name[name][i]
-            row, elapsed, sim, phases, shits, smisses = out_by_task[
+            row, elapsed, sim, phases, msnap, shits, smisses = out_by_task[
                 canonical_json([name, params])]
             key = store.key_for(name, params) if store else None
             if store:
-                store.put(key, name, params, row)
+                store.put(key, name, params, row, metrics=msnap)
             if timings is not None:
                 timings.record(name, params, elapsed)
             records[name][i] = PointRecord(params, row, False, key,
                                            elapsed_s=elapsed, sim=sim,
                                            phases=phases, setup_hits=shits,
-                                           setup_misses=smisses)
+                                           setup_misses=smisses,
+                                           metrics=msnap)
         if timings is not None:
             timings.save()
 
@@ -349,7 +387,8 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
 
 def build_meta(*, fast: bool, smoke: bool, jobs: int,
                trace: bool = False, fork: bool = True,
-               fuse: bool = True, trace_jit: bool = True) -> dict:
+               fuse: bool = True, trace_jit: bool = True,
+               metrics: bool = True) -> dict:
     """Host/run metadata shared by every figure payload of one run.
 
     Everything here is allowed to differ between two otherwise identical
@@ -370,6 +409,7 @@ def build_meta(*, fast: bool, smoke: bool, jobs: int,
         "fork": fork,
         "fuse": fuse,
         "trace_jit": trace_jit,
+        "metrics_enabled": metrics,
     }
 
 
@@ -400,6 +440,14 @@ def write_runs(runs: list[FigureRun], out_dir: str | Path,
         durs = run.phase_durs
         if durs:
             run_meta["phase_breakdown"] = phase_breakdown(durs)
+        # The figure's merged stable-metrics block (docs/METRICS.md).
+        # Lives in meta by the schema's rule of thumb — it is extra
+        # diagnosis, not the measured series — but unlike the rest of
+        # meta it IS deterministic (the determinism tests pin it across
+        # --jobs and fork settings).
+        msnap = run.metrics_snapshot
+        if msnap is not None:
+            run_meta["metrics"] = metrics_block(msnap)
         payload = bench_payload(run, run_meta)
         path = out / f"BENCH_{run.result.figure}.json"
         path.write_text(json.dumps(payload, indent=1) + "\n")
@@ -504,19 +552,23 @@ def wall_clock_diff_payloads(base: dict, new: dict,
 
 def diff_paths(base: str | Path, new: str | Path,
                threshold_pct: float | None = None, *,
-               wall_clock: bool = False
+               wall_clock: bool = False, health: bool = False
                ) -> tuple[list[SeriesDiff], list[str]]:
     """Diff two BENCH files, or two directories of BENCH_*.json files.
 
     ``wall_clock=True`` compares simulator throughput metadata instead
-    of simulated series (see :func:`wall_clock_diff_payloads`).  When
-    ``threshold_pct`` is not given it defaults per mode: 5% for series
-    diffs, 20% for the (noisier) wall-clock throughput comparison —
-    matching the two underlying diff functions.
+    of simulated series (see :func:`wall_clock_diff_payloads`);
+    ``health=True`` compares the derived health indicators of
+    ``meta.metrics`` (see :mod:`repro.obs.slo`).  When ``threshold_pct``
+    is not given it defaults per mode: 5% for series diffs, 20% for the
+    (noisier) wall-clock throughput comparison, 10% for the health gate
+    — matching the three underlying diff functions.
     Returns (series diffs, notes about unmatched figures).
     """
     if threshold_pct is None:
-        threshold_pct = 20.0 if wall_clock else 5.0
+        threshold_pct = (20.0 if wall_clock
+                         else DEFAULT_HEALTH_THRESHOLD_PCT if health
+                         else 5.0)
     base, new = Path(base), Path(new)
     notes: list[str] = []
 
@@ -524,6 +576,10 @@ def diff_paths(base: str | Path, new: str | Path,
         if wall_clock:
             diffs, wc_notes = wall_clock_diff_payloads(bp, np_, threshold_pct)
             notes.extend(wc_notes)
+            return diffs
+        if health:
+            diffs, h_notes = health_diff_payloads(bp, np_, threshold_pct)
+            notes.extend(h_notes)
             return diffs
         return diff_payloads(bp, np_, threshold_pct)
 

@@ -37,7 +37,8 @@ from ..machine.hierarchy import HierarchyConfig
 
 #: Version of the ``BENCH_<figure>.json`` document layout (see
 #: docs/BENCHMARKS.md); bumped on any breaking schema change.
-SCHEMA_VERSION = 1
+#: v2: ``meta.metrics`` block (docs/METRICS.md) joined the document.
+SCHEMA_VERSION = 2
 
 # bench-orchestration modules whose edits cannot change measured numbers
 _VERSION_EXCLUDES = {
@@ -138,8 +139,13 @@ class ResultStore:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> dict | None:
-        """The cached row for ``key``, or None (miss/tampered/stale)."""
+    def get_entry(self, key: str,
+                  require_metrics: bool = False) -> dict | None:
+        """The full cached entry for ``key`` (``row`` plus the optional
+        deterministic ``metrics`` snapshot), or None on a miss.  Entries
+        written before the metrics subsystem lack the field; with
+        ``require_metrics`` they count as misses, so a metrics-on run
+        transparently refreshes them."""
         path = self._path(key)
         try:
             entry = json.loads(path.read_text())
@@ -151,16 +157,28 @@ class ResultStore:
         if entry.get("key") != key or expected != key:
             self.misses += 1
             return None
+        if require_metrics and "metrics" not in entry:
+            self.misses += 1
+            return None
         self.hits += 1
-        return entry["row"]
+        return entry
 
-    def put(self, key: str, figure: str, params: dict, row: dict) -> None:
+    def get(self, key: str) -> dict | None:
+        """The cached row for ``key``, or None (miss/tampered/stale)."""
+        entry = self.get_entry(key)
+        return entry["row"] if entry is not None else None
+
+    def put(self, key: str, figure: str, params: dict, row: dict,
+            metrics: dict | None = None) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(
-            {"key": key, "figure": figure, "params": params, "row": row},
-            indent=1))
+        entry = {"key": key, "figure": figure, "params": params, "row": row}
+        if metrics is not None:
+            # The stable-metrics snapshot is as deterministic as the row
+            # itself, so caching it keeps metrics-on re-runs warm.
+            entry["metrics"] = metrics
+        tmp.write_text(json.dumps(entry, indent=1))
         os.replace(tmp, path)
 
 

@@ -23,7 +23,7 @@ from ..core.stdworld import make_world
 from ..machine.hierarchy import HierarchyConfig
 from ..machine.pages import PROT_RW
 from ..obs.attribution import last_span
-from ..obs.tracer import TRACER
+from ..obs.tracer import TRACER, node_pid
 
 
 @dataclass
@@ -31,6 +31,9 @@ class Phase:
     name: str
     start_ns: float
     end_ns: float
+    #: tracer pid of the node the phase boundary was read from (sender
+    #: for pack/flight, receiver for wake/dispatch); purely descriptive.
+    pid: int | None = None
 
     @property
     def dur(self) -> float:
@@ -122,11 +125,28 @@ def trace_message(jam: str = "jam_indirect_put", payload_bytes: int = 64,
         if not was_enabled:
             TRACER.detach()
 
-    send = last_span(events, "am.send")
-    put = last_span(events, "rdma.put")
-    wait = last_span(events, "mb.wait")
-    disp = last_span(events, "mb.dispatch")
-    if None in (send, put, wait, disp):  # pragma: no cover - model bug
+    tl = MessageTimeline(wire_size=fsize)
+    tl.phases = phases_from_events(events, sender=0, receiver=1)
+    return tl
+
+
+def phases_from_events(events: list[tuple], sender: int,
+                       receiver: int) -> list[Phase]:
+    """Fold one message's spans into the four-phase breakdown.
+
+    Span names repeat across nodes — a ping-pong emits ``am.send`` on
+    both ends, and every node runs ``mb.wait``/``mb.dispatch`` — so each
+    boundary is keyed by *(node, name)*: the send-side spans must come
+    from ``sender``'s track, the delivery-side spans from ``receiver``'s.
+    ``sender``/``receiver`` are node ids; failure to find a span is a
+    model bug, not a usage error.
+    """
+    spid, rpid = node_pid(sender), node_pid(receiver)
+    send = last_span(events, "am.send", pid=spid)
+    put = last_span(events, "rdma.put", pid=spid)
+    wait = last_span(events, "mb.wait", pid=rpid)
+    disp = last_span(events, "mb.dispatch", pid=rpid)
+    if None in (send, put, wait, disp):
         missing = [n for n, e in zip(("am.send", "rdma.put", "mb.wait",
                                       "mb.dispatch"),
                                      (send, put, wait, disp)) if e is None]
@@ -136,11 +156,9 @@ def trace_message(jam: str = "jam_indirect_put", payload_bytes: int = 64,
     delivered = put[4] + put[5]
     woke = wait[4] + wait[5]
     dispatch_done = disp[4] + disp[5]
-    tl = MessageTimeline(wire_size=fsize)
-    tl.phases = [
-        Phase("pack + post sw", send_start, posted),
-        Phase("wire + DMA flight", posted, delivered),
-        Phase("wake + signal read", delivered, woke),
-        Phase("parse + dispatch + exec", woke, dispatch_done),
+    return [
+        Phase("pack + post sw", send_start, posted, pid=spid),
+        Phase("wire + DMA flight", posted, delivered, pid=spid),
+        Phase("wake + signal read", delivered, woke, pid=rpid),
+        Phase("parse + dispatch + exec", woke, dispatch_done, pid=rpid),
     ]
-    return tl

@@ -25,10 +25,17 @@ Subcommands mirror the toolchain a user of the real system would have:
       twochains bench run --trace            # + phase_breakdown in meta
       twochains bench diff results/old results/bench --threshold 5
       twochains bench diff results/old results/bench --wall-clock
+      twochains bench diff results/old results/bench --health
 * ``twochains trace [--json]`` — phase breakdown of one message;
   ``twochains trace export --figure fig7 -o trace.json`` runs one traced
-  sweep point and writes Chrome/Perfetto trace-event JSON
-  (docs/OBSERVABILITY.md).
+  sweep point and writes Chrome/Perfetto trace-event JSON with metrics
+  counter tracks (docs/OBSERVABILITY.md).
+* ``twochains metrics export`` — run one sweep point with the metrics
+  registry attached and dump every counter/gauge/histogram in Prometheus
+  text exposition format (docs/METRICS.md)::
+
+      twochains metrics export --figure fig7
+      twochains metrics export --figure figchain -o metrics.prom
 * ``twochains profile [figN ...]`` — cProfile the benchmark sweeps and
   report simulator throughput (instructions/s, sim-ns per wall-second),
   per-subsystem time, and function hotspots::
@@ -164,10 +171,41 @@ def _cmd_trace_export(args) -> int:
         print(exc, file=sys.stderr)
         return 2
     print(f"wrote {summary['path']}: {summary['events']} events "
-          f"({summary['spans']} spans) on {summary['tracks']} tracks")
+          f"({summary['spans']} spans) on {summary['tracks']} tracks "
+          f"+ {summary['counter_tracks']} counter tracks")
     print(f"  figure {summary['figure']} point {summary['params']}")
     print(f"  spans: {', '.join(summary['span_names'])}")
     print("  open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _cmd_metrics_export(args) -> int:
+    import json as _json
+
+    from .obs.metrics import metrics_block, to_prometheus
+
+    try:
+        from .obs.metrics import collect_figure_metrics
+
+        snap, info = collect_figure_metrics(args.figure,
+                                            point_index=args.point,
+                                            fast=not args.full)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.json:
+        text = _json.dumps(metrics_block(snap), indent=1) + "\n"
+    else:
+        text = to_prometheus(snap)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}: {info['counters']} counters, "
+              f"{info['gauges']} gauges, {info['histograms']} histograms "
+              f"(figure {info['figure']} point {info['params']})",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -212,14 +250,15 @@ def _cmd_bench_run(args) -> int:
     fork = not args.no_fork
     fuse = not args.no_fuse
     trace_jit = not args.no_trace
+    metrics = not args.no_metrics
     runs = run_figures(names, fast=fast, smoke=args.smoke, jobs=jobs,
                        store=store, trace=args.trace, fork=fork, fuse=fuse,
-                       trace_jit=trace_jit,
+                       trace_jit=trace_jit, metrics=metrics,
                        log=None if args.quiet else
                        (lambda m: print(m, file=sys.stderr)))
     meta = build_meta(fast=fast, smoke=args.smoke, jobs=jobs,
                       trace=args.trace, fork=fork, fuse=fuse,
-                      trace_jit=trace_jit)
+                      trace_jit=trace_jit, metrics=metrics)
     paths = write_runs(runs, args.out, meta)
     if not args.quiet:
         print(render_runs_text(runs))
@@ -232,14 +271,22 @@ def _cmd_bench_run(args) -> int:
 def _cmd_bench_diff(args) -> int:
     from .bench.orchestrator import diff_paths
     from .bench.report import render_diff
+    from .obs.slo import DEFAULT_HEALTH_THRESHOLD_PCT
 
+    if args.wall_clock and args.health:
+        print("--wall-clock and --health are mutually exclusive",
+              file=sys.stderr)
+        return 2
     threshold = args.threshold
     if threshold is None:
-        threshold = 20.0 if args.wall_clock else 5.0
+        threshold = (20.0 if args.wall_clock
+                     else DEFAULT_HEALTH_THRESHOLD_PCT if args.health
+                     else 5.0)
     try:
         diffs, notes = diff_paths(args.base, args.new,
                                   threshold_pct=threshold,
-                                  wall_clock=args.wall_clock)
+                                  wall_clock=args.wall_clock,
+                                  health=args.health)
     except (OSError, ValueError) as exc:
         print(f"cannot diff: {exc}", file=sys.stderr)
         return 2
@@ -391,6 +438,10 @@ def make_parser() -> argparse.ArgumentParser:
     b.add_argument("--no-trace", action="store_true",
                    help="disable the VM's cross-branch trace JIT "
                         "(slower; rows are identical either way)")
+    b.add_argument("--no-metrics", action="store_true",
+                   help="skip the metrics registry: no meta.metrics "
+                        "block in the result files (rows are identical "
+                        "either way)")
     b.add_argument("--quiet", action="store_true",
                    help="suppress progress and text tables")
     b.set_defaults(fn=_cmd_bench_run)
@@ -402,15 +453,40 @@ def make_parser() -> argparse.ArgumentParser:
     b.add_argument("new", help="new BENCH_*.json file or directory")
     b.add_argument("--threshold", type=float, default=None,
                    help="noise threshold in percent (default 5, "
-                        "or 20 with --wall-clock)")
+                        "20 with --wall-clock, 10 with --health)")
     b.add_argument("--wall-clock", action="store_true",
                    help="compare simulator throughput "
                         "(meta.sim_throughput) instead of simulated "
                         "series — flags host-perf regressions")
+    b.add_argument("--health", action="store_true",
+                   help="compare direction-aware health indicators "
+                        "derived from meta.metrics (fc-stall per send, "
+                        "guard-bail rate, dispatch p99, cache hit-rates)")
     b.set_defaults(fn=_cmd_bench_diff)
 
     b = bsub.add_parser("list", help="list registered sweeps")
     b.set_defaults(fn=_cmd_bench_list)
+
+    p = sub.add_parser("metrics",
+                       help="metrics registry tools ('metrics export' "
+                            "dumps one sweep point in Prometheus text "
+                            "format)")
+    msub = p.add_subparsers(dest="metrics_command", required=True,
+                            metavar="export")
+    m = msub.add_parser("export", help="run one sweep point with metrics "
+                                       "attached, dump Prometheus text")
+    m.add_argument("--figure", default="fig7",
+                   help="registered sweep (default fig7; see 'bench list')")
+    m.add_argument("--point", type=int, default=0,
+                   help="sweep-point index (default 0)")
+    m.add_argument("--full", action="store_true",
+                   help="index into the full sweep axes")
+    m.add_argument("--json", action="store_true",
+                   help="dump the rounded meta.metrics block as JSON "
+                        "instead of Prometheus text")
+    m.add_argument("-o", "--out", default=None,
+                   help="output path (default: stdout)")
+    m.set_defaults(fn=_cmd_metrics_export)
 
     p = sub.add_parser("profile",
                        help="cProfile figure sweeps; report simulator "

@@ -21,6 +21,7 @@ from typing import Callable, Optional
 
 from ..errors import MailboxError
 from ..machine.pages import PROT_RW, PROT_RWX, PROT_RX
+from ..obs.metrics import METRICS as _M
 from ..obs.tracer import TRACER as _T, node_pid
 from ..rdma.mr import Access
 from ..sim.clock import CPU_CLOCK
@@ -149,9 +150,11 @@ class Waiter:
         cfg = rt.cfg
         start = rt.engine.now
         ev = node.monitor_event(sig_addr)
+        spins = 0
         while node.mem.read_u8(sig_addr) != expected:
             if self._stop:
                 return False
+            spins += 1
             yield ev
             if self._stop:
                 return False
@@ -182,6 +185,11 @@ class Waiter:
             _T.span(pid, core, "mb.wait", start, end,
                     {"mode": cfg.wait_mode.value})
             _T.span(pid, core, "mb.sig_read", end - lat, end)
+        if _M.enabled:
+            end = rt.engine.now
+            nid = node.node_id
+            _M.count(f"tc_mb_sig_poll_spins_total|node={nid}", end, spins)
+            _M.observe(f"tc_mb_wait_ns|node={nid}", end - start)
         return True
 
     # -- dispatch -------------------------------------------------------------------
@@ -221,6 +229,15 @@ class Waiter:
             _T.span(node_pid(node.node_id), core, "mb.dispatch", t0,
                     rt.engine.now,
                     {"injected": bool(view.injected), "executed": run_it})
+        if _M.enabled:
+            # Dispatch latency: signal detected -> frame fully handled
+            # (the sender-post timestamp is not carried in the frame, so
+            # this is the receiver-side half of end-to-end latency).
+            end = rt.engine.now
+            nid = node.node_id
+            _M.count(f"tc_mb_frames_total|node={nid}", end)
+            _M.observe(f"tc_mb_dispatch_ns|node={nid}", end - t0)
+            node.hier.sample_metrics(_M, end)
         if self.on_frame is not None:
             out = self.on_frame(view, slot_addr)
             if out is not None and hasattr(out, "__iter__"):
@@ -322,6 +339,17 @@ class Waiter:
                     yield from self._dispatch(mb.slot_addr(bank, slot))
                     if self.record_dispatch:
                         self.stats.dispatch_times.append(rt.engine.now - t0)
+                    if _M.enabled:
+                        # Slot occupancy: frames of this bank already
+                        # landed (signal byte raised) but not dispatched.
+                        occ = 0
+                        for s in range(slot + 1, mb.slots):
+                            if rt.node.mem.read_u8(
+                                    mb.sig_addr(bank, s)) == seq:
+                                occ += 1
+                        _M.sample(
+                            f"tc_mb_backlog|node={rt.node.node_id}",
+                            rt.engine.now, occ)
                 self._rounds[bank] += 1
                 if self.flag_target is not None:
                     # Raise the sender's flag for this bank: small put,

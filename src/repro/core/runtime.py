@@ -20,6 +20,7 @@ from ..linker.loader import Loader
 from ..linker.namespace import Namespace
 from ..machine.node import Node
 from ..machine.pages import PROT_RW
+from ..obs.metrics import METRICS as _M
 from ..obs.tracer import TRACER as _T, node_pid
 from ..rdma.mr import Access
 from ..rdma.verbs import Hca, QueuePair
@@ -233,6 +234,12 @@ class Connection:
         if _T.enabled:
             _T.span(node_pid(node.node_id), self.rt.core, "am.fc_wait",
                     start, self.rt.engine.now, {"bank": bank})
+        if _M.enabled:
+            end = self.rt.engine.now
+            nid = node.node_id
+            _M.count(f"tc_fc_waits_total|node={nid}", end)
+            _M.count(f"tc_fc_stall_ns_total|node={nid}", end, end - start)
+            _M.observe(f"tc_fc_wait_ns|node={nid}", end - start)
 
     def send_jam(self, package: LoadedPackage, element_name: str,
                  payload_addr: int, payload_size: int,
@@ -323,6 +330,12 @@ class Connection:
             _T.span(node_pid(node.node_id), rt.core, "am.send",
                     t_send, rt.engine.now,
                     {"element": el.element_id, "inject": inject})
+        if _M.enabled:
+            end = rt.engine.now
+            nid = node.node_id
+            _M.count(f"tc_am_sends_total|node={nid}", end)
+            _M.observe(f"tc_am_send_ns|node={nid}", end - t_send)
+            node.hier.sample_metrics(_M, end)
         return req
 
 
@@ -441,6 +454,12 @@ class PreparedJam:
         if _T.enabled:
             _T.span(node_pid(rt.node.node_id), rt.core, "am.send",
                     t_send, rt.engine.now, {"prepared": True})
+        if _M.enabled:
+            end = rt.engine.now
+            nid = rt.node.node_id
+            _M.count(f"tc_am_sends_total|node={nid}", end)
+            _M.observe(f"tc_am_send_ns|node={nid}", end - t_send)
+            rt.node.hier.sample_metrics(_M, end)
         return req
 
 

@@ -47,6 +47,7 @@ from ..errors import VmFault
 from ..machine.node import Node
 from ..machine.pages import PAGE_SIZE as _PAGE_SIZE, PROT_R as _PROT_R, \
     PROT_W as _PROT_W, PROT_X as _PROT_X
+from ..obs.metrics import METRICS as _M
 from ..obs.tracer import TRACER as _T, node_pid
 from ..perf import COUNTERS as _C
 from .encoding import decode_fields
@@ -2050,6 +2051,10 @@ class Vm:
         materialize_slot = self._code.materialize_slot
         try_trace = self._code.try_trace
         trace_on = _TRACE_ENABLED  # per-call: the flag never flips mid-run
+        m_on = _M.enabled  # per-call tier split for the metrics registry
+        if m_on:
+            m_fused0 = _C.fused_instructions
+            m_trace0 = _C.trace_instructions
 
         regs = [0] * NREGS
         for i, a in enumerate(args):
@@ -2153,7 +2158,9 @@ class Vm:
                 if fused is None:  # first entry at this slot: generate
                     fused = materialize_slot(line, (pc >> 3) & 7)
                 ret = fused(self, regs, ebox, now)
-                steps += (ret - pc) >> 3
+                d = (ret - pc) >> 3
+                _C.fused_instructions += d
+                steps += d
                 pc = ret
                 cur_line = (pc - 8) >> 6  # line of the last retired instr
             else:
@@ -2179,6 +2186,23 @@ class Vm:
         elapsed = ebox[0]
         node.add_busy_ns(core, elapsed)
         _C.instructions += steps
+        if m_on:
+            # Per-tier split: the trace (and therefore fused/interp)
+            # share depends on host-side profile counters that survive
+            # World.restore, so only the total is fork-stable.
+            nid = node.node_id
+            fd = _C.fused_instructions - m_fused0
+            td = _C.trace_instructions - m_trace0
+            end = now + elapsed
+            _M.count(f"tc_vm_instructions_total|node={nid}", end, steps)
+            _M.count(f"tc_vm_tier_instructions_total|node={nid}|tier=interp",
+                     end, steps - fd - td, stable=False)
+            if fd:
+                _M.count(f"tc_vm_tier_instructions_total|node={nid}"
+                         "|tier=fused", end, fd, stable=False)
+            if td:
+                _M.count(f"tc_vm_tier_instructions_total|node={nid}"
+                         "|tier=trace", end, td, stable=False)
         if _T.enabled:
             _T.span(node_pid(node.node_id), core, "vm.call", now,
                     now + elapsed, {"steps": steps, "entry": entry})

@@ -103,6 +103,29 @@ class MemoryHierarchy:
         self.demand_dram_lines = 0
 
     # ------------------------------------------------------------------
+    def sample_metrics(self, registry, now: float) -> None:
+        """Sample cumulative per-level hit-rate gauges into ``registry``.
+
+        Call sites gate on ``registry.enabled`` and invoke this at low
+        frequency (per dispatched frame / completed send), never per
+        access — the L1-hit fast path stays untouched.  Counts are part
+        of the world snapshot, so the gauges are fork-deterministic.
+        """
+        nid = self.node_id
+        for level, caches in (("l1i", self.l1i), ("l1d", self.l1d),
+                              ("l2", self.l2), ("l3", self.l3),
+                              ("llc", (self.llc,))):
+            hits = 0
+            total = 0
+            for c in caches:
+                hits += c.hits
+                total += c.hits + c.misses
+            if total:
+                registry.sample(
+                    f"tc_cache_hit_rate|node={nid}|level={level}",
+                    now, hits / total)
+
+    # ------------------------------------------------------------------
     def _cluster(self, core: int) -> int:
         return core // 2
 

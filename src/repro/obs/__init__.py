@@ -8,16 +8,33 @@ first-class data instead of hand-wired hooks:
   VM execution, GOT rewrites, cache misses).  Disabled by default; the
   instrumentation contract is a single ``if TRACER.enabled`` predicate
   on any hot path.
+* :mod:`.metrics` — the tracer's sibling for *how much*: counters,
+  sim-time-weighted gauges, and HDR latency histograms, with Prometheus
+  text export and Perfetto counter-track feeds (``twochains metrics
+  export``).  Same disabled-by-default, one-predicate contract.
+* :mod:`.slo` — direction-aware health indicators over ``meta.metrics``
+  and the ``bench diff --health`` regression gate.
 * :mod:`.perfetto` — Chrome/Perfetto trace-event JSON export
-  (``twochains trace export``).
+  (``twochains trace export``), spans and counter tracks merged.
 * :mod:`.attribution` — span-tree helpers and the per-phase latency
   breakdown (``phase_breakdown``) that benchmarks embed in
   ``BENCH_<figure>.json`` meta.
 
-See docs/OBSERVABILITY.md for the track model and schemas.
+See docs/OBSERVABILITY.md for the track model and schemas, and
+docs/METRICS.md for metric semantics, the name catalogue, and the
+health gate.
 """
 
 from .attribution import phase_breakdown, phase_durations, span_children
+from .metrics import (
+    METRICS,
+    MetricsRegistry,
+    merge_snapshots,
+    metrics_block,
+    parse_prometheus,
+    to_prometheus,
+)
+from .slo import HealthDiff, health_diff_payloads, health_indicators
 from .tracer import (
     PID_SIM,
     TID_DES,
@@ -29,14 +46,23 @@ from .tracer import (
 )
 
 __all__ = [
+    "METRICS",
+    "MetricsRegistry",
     "PID_SIM",
     "TID_DES",
     "TID_HCA",
     "TID_TOOL",
     "TRACER",
     "Tracer",
+    "HealthDiff",
+    "health_diff_payloads",
+    "health_indicators",
+    "merge_snapshots",
+    "metrics_block",
     "node_pid",
+    "parse_prometheus",
     "phase_breakdown",
     "phase_durations",
     "span_children",
+    "to_prometheus",
 ]

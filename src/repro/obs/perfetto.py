@@ -4,12 +4,15 @@ Turns the tracer's event list into the `trace-event format
 <https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
 that chrome://tracing and https://ui.perfetto.dev load directly:
 ``"X"`` complete spans with microsecond ``ts``/``dur``, ``"i"`` instant
-events, and ``"M"`` metadata naming each process/thread after the track
-model in :mod:`.tracer` (DES loop, toolchain, per-node cores and HCAs).
+events, ``"C"`` counter samples (the metrics registry's counter/gauge
+series, one counter track per metric key), and ``"M"`` metadata naming
+each process/thread after the track model in :mod:`.tracer` (DES loop,
+toolchain, per-node cores and HCAs).
 
 ``export_figure_trace`` is the ``twochains trace export`` backend: it
-runs one registered sweep point with the tracer attached and writes the
-resulting trace document.
+runs one registered sweep point with the tracer *and* the metrics
+registry attached and writes the resulting trace document — spans say
+when, counter tracks say how much.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from .metrics import METRICS, counter_track_events
 from .tracer import PID_SIM, TID_DES, TID_HCA, TID_TOOL, TRACER
 
 
@@ -37,7 +41,8 @@ def to_trace_events(events: list[tuple]) -> list[dict]:
 
     ``ts``/``dur`` are microseconds (floats) per the trace-event spec;
     the tracer records nanoseconds, so values divide by 1000.  Instants
-    use thread scope (``"s": "t"``).
+    use thread scope (``"s": "t"``); counter events (``"C"``) carry
+    their value in ``args`` and render as per-process counter tracks.
     """
     out: list[dict] = []
     tracks = sorted({(e[1], e[2]) for e in events})
@@ -83,10 +88,11 @@ def export_figure_trace(figure: str, out_path: str | Path,
     if not 0 <= point_index < len(points):
         raise ValueError(f"{figure} has {len(points)} points; "
                          f"index {point_index} is out of range")
-    with TRACER.capture():
+    with TRACER.capture(), METRICS.capture():
         spec.point(**points[point_index])
         events = list(TRACER.events)
-    doc = to_trace_document(events)
+    counters = counter_track_events(METRICS)
+    doc = to_trace_document(events + counters)
     path = Path(out_path)
     path.write_text(json.dumps(doc, indent=None, separators=(",", ":"))
                     + "\n")
@@ -95,8 +101,9 @@ def export_figure_trace(figure: str, out_path: str | Path,
         "path": str(path),
         "figure": figure,
         "params": points[point_index],
-        "events": len(events),
+        "events": len(events) + len(counters),
         "spans": len(spans),
         "tracks": len({(e[1], e[2]) for e in events}),
+        "counter_tracks": len({(e[1], e[3]) for e in counters}),
         "span_names": sorted({e[3] for e in spans}),
     }

@@ -22,6 +22,7 @@ from typing import Optional
 
 from ..errors import RdmaError, RkeyViolation
 from ..machine.node import Node
+from ..obs.metrics import METRICS as _M
 from ..obs.tracer import TID_HCA, TRACER as _T, node_pid
 from ..sim.engine import Engine, Event
 from .mr import Access, MemoryRegion, MrTable
@@ -96,12 +97,16 @@ class QueuePair:
         self._last_delivery = 0.0   # in-order delivery horizon
         self.puts_posted = 0
         self.puts_failed = 0
+        # Puts posted but not yet delivered.  Not part of the snapshot:
+        # checkpoints require a quiescent fabric, so this is 0 there.
+        self._inflight = 0
 
     def snapshot(self) -> tuple:
         return self._last_delivery, self.puts_posted, self.puts_failed
 
     def restore(self, snap: tuple) -> None:
         self._last_delivery, self.puts_posted, self.puts_failed = snap
+        self._inflight = 0
 
     # -- timing helpers -----------------------------------------------------
 
@@ -153,6 +158,12 @@ class QueuePair:
         post_done, delivered, _ = self._schedule(
             size, now, src_addr if payload is None else None)
         self.src.bytes_tx += size
+        self._inflight += 1
+        if _M.enabled:
+            link = f"src={self.src.node.node_id}|dst={self.dst.node.node_id}"
+            _M.count(f"tc_rdma_puts_total|{link}", now)
+            _M.count(f"tc_rdma_link_bytes_total|{link}", now, size)
+            _M.sample(f"tc_qp_inflight|{link}", now, self._inflight)
         if _T.enabled:
             # Sender HCA track: the whole put (outer), its software post
             # and wire/DMA flight nested inside.
@@ -168,6 +179,7 @@ class QueuePair:
             except RkeyViolation:
                 comp.status = WcStatus.REMOTE_ACCESS_ERROR
                 self.puts_failed += 1
+                self._inflight -= 1
                 comp.completed_at = self.engine.now + self.link.ack_ns
                 self.engine.call_at(comp.completed_at, comp.event.fire, comp)
                 return
@@ -186,6 +198,11 @@ class QueuePair:
                             {"size": size,
                              "stash": node.hier.cfg.stash_enabled})
             self.dst.bytes_rx += size
+            self._inflight -= 1
+            if _M.enabled:
+                _M.sample(f"tc_qp_inflight|src={self.src.node.node_id}"
+                          f"|dst={self.dst.node.node_id}",
+                          self.engine.now, self._inflight)
             comp.delivered_at = self.engine.now
             node.notify_write(dst_addr, size)
             comp.completed_at = self.engine.now + self.link.ack_ns

@@ -48,6 +48,18 @@ def select_protocol(size: int,
     raise UcpError(f"no protocol admits size {size}")  # pragma: no cover
 
 
+def record_selection(registry, now: float, node_id: int, proto: Protocol,
+                     size: int) -> None:
+    """Per-lane send metrics (ops + bytes) for one selected protocol.
+
+    Lives next to the ladder so the lane naming has one owner; callers
+    gate on ``registry.enabled`` (docs/METRICS.md).
+    """
+    key = f"node={node_id}|proto={proto.name}"
+    registry.count(f"tc_ucp_proto_ops_total|{key}", now)
+    registry.count(f"tc_ucp_proto_bytes_total|{key}", now, size)
+
+
 def protocol_cost_ns(size: int,
                      table: tuple[Protocol, ...] = DEFAULT_PROTOCOLS
                      ) -> float:

@@ -25,10 +25,16 @@ from dataclasses import dataclass
 from ..errors import UcpError
 from ..machine.node import Node
 from ..machine.pages import PROT_RW
+from ..obs.metrics import METRICS as _M
 from ..rdma.mr import Access, MemoryRegion
 from ..rdma.verbs import Completion, Hca, QueuePair
 from ..sim.engine import Engine
-from .protocols import DEFAULT_PROTOCOLS, Protocol, select_protocol
+from .protocols import (
+    DEFAULT_PROTOCOLS,
+    Protocol,
+    record_selection,
+    select_protocol,
+)
 
 
 @dataclass(frozen=True)
@@ -198,6 +204,8 @@ class UcpEndpoint:
         req = UcpRequest(size=size, protocol=proto.name, completion=comp,
                          cpu_ns=cpu, issued_at=now)
         self.worker.requests_issued += 1
+        if _M.enabled:
+            record_selection(_M, now, self.worker.node.node_id, proto, size)
         if track:
             self.inflight.append(req)
         return req
@@ -220,7 +228,14 @@ class UcpEndpoint:
             oldest = self.inflight[0]
             yield self.worker.progress_cost()
             if not oldest.done:
+                t0 = self.engine_now()
                 yield oldest.completion.event
+                if _M.enabled:
+                    end = self.engine_now()
+                    nid = self.worker.node.node_id
+                    _M.count(f"tc_ucp_window_stalls_total|node={nid}", end)
+                    _M.count(f"tc_ucp_window_stall_ns_total|node={nid}",
+                             end, end - t0)
             self.inflight.pop(0)
             retire = cfg.completion_process_ns + cfg.fc_account_ns
             self.worker.node.add_busy_ns(self.worker.core, retire)

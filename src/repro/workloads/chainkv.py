@@ -43,6 +43,7 @@ from ..core.runtime import Connection, connect_runtimes
 from ..core.toolchain import JamSource, PackageBuild, RiedSource, build_package
 from ..errors import TwoChainsError
 from ..machine.pages import PROT_RW
+from ..obs.metrics import METRICS as _M
 from ..rdma.fabric import Topology
 from ..rdma.params import DEFAULT_LINK, LinkParams
 
@@ -356,15 +357,27 @@ class ChainKV:
         def hook(view, slot_addr):
             conn = self._next[node_id]
             pkg = self._pkg[node_id]
+            t0 = self.engine.now
             if conn is self._ack_conn:
                 yield from conn.send_jam(
                     pkg, "jam_chain_put", 0, 0,
                     args=(view.args[0], waiter.stats.last_exec_ret),
                     inject=False, no_exec=True)
+                if _M.enabled:
+                    _M.observe(f"tc_chainkv_ack_ns|node={node_id}",
+                               self.engine.now - t0)
             else:
                 yield from conn.send_jam(
                     pkg, "jam_chain_put", slot_addr + view.payload_off,
                     view.payload_size, args=(view.args[0],), inject=True)
+                if _M.enabled:
+                    # Per-hop forward latency: apply done -> next-replica
+                    # frame posted (fc stalls on the down-chain link
+                    # included, which is what makes it diagnostic).
+                    _M.observe(f"tc_chainkv_hop_ns|node={node_id}",
+                               self.engine.now - t0)
+                    _M.count(f"tc_chainkv_forwards_total|node={node_id}",
+                             self.engine.now)
         return hook
 
     # -- client operations ---------------------------------------------------
@@ -446,6 +459,11 @@ class ChainKV:
             for i in self.replicas:
                 yield from self._mc_conn[i].send_jam(pkg, element, 0, 0,
                                                      args=(i,), inject=True)
+            if _M.enabled:
+                # Replication fan-out: replicas reached by one install.
+                _M.count("tc_chainkv_mcast_installs_total", self.engine.now)
+                _M.count("tc_chainkv_mcast_fanout_total", self.engine.now,
+                         len(self.replicas))
             while self._mc_acks < len(self.replicas):
                 yield self._mc_ev
             marks["t1"] = self.engine.now

@@ -172,14 +172,15 @@ TOP_LEVEL_KEYS = {
 META_KEYS = {
     "generated_at", "host", "platform", "python", "git_sha",
     "code_version", "seed", "fast", "smoke", "jobs", "trace", "fork", "fuse",
-    "trace_jit", "wall_clock_s", "sweep_wall_s", "cache_hits", "cache_misses",
-    "setup_cache", "sim_throughput",
+    "trace_jit", "metrics_enabled", "wall_clock_s", "sweep_wall_s",
+    "cache_hits", "cache_misses", "setup_cache", "sim_throughput", "metrics",
 }
 
 SIM_THROUGHPUT_KEYS = {
     "instructions", "cache_probes", "des_events", "sim_ns", "wall_s",
     "instructions_per_s", "sim_ns_per_wall_s",
-    "blocks_compiled", "fused_dispatches", "block_invalidations",
+    "blocks_compiled", "fused_dispatches", "fused_instructions",
+    "block_invalidations",
     "traces_compiled", "trace_dispatches", "trace_instructions",
     "guard_bails", "trace_invalidations",
 }

@@ -38,6 +38,7 @@ def test_counters_snapshot_delta_reset():
     c.sim_ns += 1.5
     c.blocks_compiled += 3
     c.fused_dispatches += 7
+    c.fused_instructions += 80
     c.block_invalidations += 1
     c.traces_compiled += 2
     c.trace_dispatches += 5
@@ -47,6 +48,7 @@ def test_counters_snapshot_delta_reset():
     assert c.delta(before) == {"instructions": 10, "cache_probes": 4,
                                "des_events": 2, "sim_ns": 1.5,
                                "blocks_compiled": 3, "fused_dispatches": 7,
+                               "fused_instructions": 80,
                                "block_invalidations": 1,
                                "traces_compiled": 2, "trace_dispatches": 5,
                                "trace_instructions": 900, "guard_bails": 4,
@@ -55,6 +57,7 @@ def test_counters_snapshot_delta_reset():
     assert c.snapshot() == {"instructions": 0, "cache_probes": 0,
                             "des_events": 0, "sim_ns": 0.0,
                             "blocks_compiled": 0, "fused_dispatches": 0,
+                            "fused_instructions": 0,
                             "block_invalidations": 0,
                             "traces_compiled": 0, "trace_dispatches": 0,
                             "trace_instructions": 0, "guard_bails": 0,

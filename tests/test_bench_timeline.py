@@ -4,8 +4,14 @@ import json
 
 import pytest
 
-from repro.bench.timeline import MessageTimeline, Phase, trace_message
+from repro.bench.timeline import (
+    MessageTimeline,
+    Phase,
+    phases_from_events,
+    trace_message,
+)
 from repro.cli import main as cli_main
+from repro.obs.tracer import TID_HCA, node_pid
 
 
 class TestTrace:
@@ -82,3 +88,53 @@ class TestTimelineEdges:
             "early", "late"]
         lines = tl.render().splitlines()
         assert "early" in lines[1] and "late" in lines[2]
+
+
+def _span(pid, tid, name, ts, dur):
+    return ("X", pid, tid, name, ts, dur, None)
+
+
+class TestPhasesFromEvents:
+    """Span names repeat across nodes; phases must key by (node, name)."""
+
+    def _message_events(self, sender, receiver):
+        spid, rpid = node_pid(sender), node_pid(receiver)
+        return [
+            _span(spid, 0, "am.send", 100.0, 50.0),
+            _span(spid, TID_HCA, "rdma.put", 120.0, 800.0),
+            _span(rpid, 0, "mb.wait", 0.0, 930.0),
+            _span(rpid, 0, "mb.dispatch", 930.0, 170.0),
+        ]
+
+    def test_plain_message(self):
+        phases = phases_from_events(self._message_events(0, 1), 0, 1)
+        assert [(p.start_ns, p.end_ns) for p in phases] == [
+            (100.0, 150.0), (150.0, 920.0), (920.0, 930.0), (930.0, 1100.0)]
+        assert [p.pid for p in phases] == [1, 1, 2, 2]
+
+    def test_decoy_spans_on_other_nodes_are_ignored(self):
+        # A ping-pong: the *reply* message (node1 -> node0) emits the
+        # same span names later in the event list.  Without pid keying,
+        # last_span would pick the reply's spans and produce negative
+        # or nonsensical phases.
+        events = self._message_events(0, 1)
+        reply = [
+            _span(node_pid(1), 0, "am.send", 1100.0, 50.0),
+            _span(node_pid(1), TID_HCA, "rdma.put", 1120.0, 800.0),
+            _span(node_pid(0), 0, "mb.wait", 150.0, 1780.0),
+            _span(node_pid(0), 0, "mb.dispatch", 1930.0, 170.0),
+        ]
+        phases = phases_from_events(events + reply, 0, 1)
+        assert phases == phases_from_events(events, 0, 1)
+        for a, b in zip(phases, phases[1:]):
+            assert a.end_ns == b.start_ns
+            assert a.dur >= 0
+        # and the reply itself folds correctly with roles swapped
+        back = phases_from_events(events + reply, 1, 0)
+        assert back[0].start_ns == 1100.0
+        assert back[-1].end_ns == 2100.0
+
+    def test_missing_span_is_a_model_bug(self):
+        events = self._message_events(0, 1)[:-1]  # drop mb.dispatch
+        with pytest.raises(RuntimeError, match="mb.dispatch"):
+            phases_from_events(events, 0, 1)

@@ -1,6 +1,6 @@
-"""Docs stay true: every ``python`` snippet in docs/TOPOLOGY.md runs
-verbatim (in order, one shared namespace), and no markdown file links to
-a path that does not exist.
+"""Docs stay true: every ``python`` snippet in docs/TOPOLOGY.md and
+docs/METRICS.md runs verbatim (in order, one shared namespace per file),
+and no markdown file links to a path that does not exist.
 """
 
 from __future__ import annotations
@@ -25,17 +25,21 @@ def test_topology_doc_has_snippets():
     assert len(snippets(DOCS / "TOPOLOGY.md")) >= 4
 
 
-def test_topology_doc_snippets_run():
-    """The worked example in docs/TOPOLOGY.md is executable as written:
-    the blocks share one namespace and run top to bottom, asserts and
-    all, exactly like a reader pasting them into a REPL."""
+def test_metrics_doc_has_snippets():
+    assert len(snippets(DOCS / "METRICS.md")) >= 5
+
+
+@pytest.mark.parametrize("name", ["TOPOLOGY.md", "METRICS.md"])
+def test_doc_snippets_run(name):
+    """The worked examples are executable as written: the blocks of one
+    file share a namespace and run top to bottom, asserts and all,
+    exactly like a reader pasting them into a REPL."""
     ns: dict = {}
-    for i, block in enumerate(snippets(DOCS / "TOPOLOGY.md")):
+    for i, block in enumerate(snippets(DOCS / name)):
         try:
-            exec(compile(block, f"docs/TOPOLOGY.md[snippet {i}]", "exec"),
-                 ns)
+            exec(compile(block, f"docs/{name}[snippet {i}]", "exec"), ns)
         except Exception as exc:   # pragma: no cover - failure reporting
-            pytest.fail(f"docs/TOPOLOGY.md snippet {i} failed: "
+            pytest.fail(f"docs/{name} snippet {i} failed: "
                         f"{type(exc).__name__}: {exc}\n---\n{block}")
 
 

@@ -351,3 +351,27 @@ class TestOverhead:
         assert tp > 0.4 * base, (
             f"untraced throughput {tp:.0f} sim-ns/s fell below 40% of "
             f"the committed baseline {base:.0f}")
+
+    def test_metrics_off_throughput_near_committed_baseline(self):
+        """`--no-metrics` walls must be unchanged: with the registry
+        disabled the instrumentation is a single attribute check, so a
+        metrics-off run must hold the same generous band against the
+        committed (metrics-on) baseline as the untraced guard above.
+        Same skips: wall-clock comparisons only mean something on the
+        host that produced the baseline."""
+        path = BASELINE / f"BENCH_{FIG}.json"
+        if not path.exists():
+            pytest.skip("no committed baseline")
+        payload = json.loads(path.read_text())
+        base = payload["meta"].get("sim_throughput", {}).get(
+            "sim_ns_per_wall_s")
+        if not base:
+            pytest.skip("baseline is fully cached (no throughput)")
+        if payload["meta"].get("host") != platform.node():
+            pytest.skip("different host than baseline")
+        run = run_figures([FIG], smoke=True, jobs=1, metrics=False)[0]
+        assert run.metrics_snapshot is None
+        tp = run.sim_counters["sim_ns"] / max(run.wall_s, 1e-9)
+        assert tp > 0.4 * base, (
+            f"metrics-off throughput {tp:.0f} sim-ns/s fell below 40% "
+            f"of the committed baseline {base:.0f}")
