@@ -98,6 +98,12 @@ class FigureSpec:
     directions: dict[str, str] = field(default_factory=dict)
     notes: str = ""
     setup_key: Callable[[dict], object] | str | None = None
+    # Whether the point function tolerates a sharded DES (sim/shard.py):
+    # all cross-node coupling flows through the fabric, and the driver
+    # only touches foreign-node state at global quiescence (between
+    # run_process calls).  Legacy shapes that read peer cycle counters
+    # or stop cross-node stress mid-run stay False and force --shards 1.
+    shardable: bool = False
 
     def setup_key_for(self, params: dict) -> object:
         """The setup-group key for one sweep point (JSON-serializable)."""

@@ -27,6 +27,7 @@ host- or time-dependent lives under the payload's ``meta`` key.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import multiprocessing
 import os
@@ -43,6 +44,7 @@ from ..obs.metrics import METRICS, merge_snapshots, metrics_block
 from ..obs.slo import DEFAULT_HEALTH_THRESHOLD_PCT, health_diff_payloads
 from ..obs.tracer import TRACER
 from ..perf import COUNTERS, throughput
+from ..sim import shard as _shard
 from ..sim.rng import DEFAULT_SEED
 from .figures import FigureResult, FigureSpec, assemble, full_registry
 from .report import bench_payload, render_figure
@@ -171,12 +173,18 @@ def _exec_point(task: tuple[str, dict, bool, bool]
     t0 = time.perf_counter()
     if metrics:
         METRICS.attach()
-    if trace:
-        with TRACER.capture():
+    # Legacy shapes whose drivers read/stop foreign-node state mid-run
+    # (cycle counters, cross-node stress teardown) cannot split across
+    # DES shards; they force a single heap regardless of --shards.
+    shard_ctx = (contextlib.nullcontext() if spec.shardable
+                 else _shard.forced_single())
+    with shard_ctx:
+        if trace:
+            with TRACER.capture():
+                row = spec.point(**params)
+                phases = phase_durations(TRACER.events)
+        else:
             row = spec.point(**params)
-            phases = phase_durations(TRACER.events)
-    else:
-        row = spec.point(**params)
     if metrics:
         METRICS.detach()
         msnap = METRICS.snapshot(stable_only=True)
@@ -188,7 +196,7 @@ def _exec_point(task: tuple[str, dict, bool, bool]
 
 
 def _exec_group(task: tuple[list[tuple[str, dict, bool, bool]],
-                            bool, bool, bool]
+                            bool, bool, bool, int | str, str]
                 ) -> list[tuple[dict, float, dict, dict | None, dict | None,
                                 int, int]]:
     """Pool worker: run one setup-key group of sweep points, in order.
@@ -202,12 +210,14 @@ def _exec_group(task: tuple[list[tuple[str, dict, bool, bool]],
     switches into pool workers (process-global state does not travel
     with the task otherwise).
     """
-    group, fork, fuse, trace_jit = task
+    group, fork, fuse, trace_jit, shards, shard_backend = task
     from ..isa import vm as _vm
     prev_fuse = _vm.fusion_enabled()
     prev_trace = _vm.trace_jit_enabled()
+    prev_shards = _shard.get_policy()
     _vm.set_fusion(fuse)
     _vm.set_trace_jit(trace_jit)
+    _shard.set_policy(shards, shard_backend)
     if fork:
         SETUP_CACHE.enabled = True
         SETUP_CACHE.clear()
@@ -218,6 +228,7 @@ def _exec_group(task: tuple[list[tuple[str, dict, bool, bool]],
         SETUP_CACHE.clear()
         _vm.set_fusion(prev_fuse)
         _vm.set_trace_jit(prev_trace)
+        _shard.set_policy(*prev_shards)
 
 
 def resolve_jobs(jobs: int | str) -> int:
@@ -266,6 +277,7 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
                 trace: bool = False, fork: bool = True,
                 fuse: bool = True, trace_jit: bool = True,
                 metrics: bool = True,
+                shards: int | str = 1, shard_backend: str = "serial",
                 log=None) -> list[FigureRun]:
     """Run the requested sweeps, reusing cached points, fanning out misses.
 
@@ -286,6 +298,11 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
     ``trace_jit=False`` (``--no-trace``) likewise disables the
     cross-branch trace tier layered on fusion; the trace-identity tests
     pin row equality, so only wall-clock differs.
+    ``shards``/``shard_backend`` (``--shards``, ``--shard-backend``)
+    select the conservative parallel-DES policy (sim/shard.py) for
+    shard-safe specs (``FigureSpec.shardable``); other specs force
+    ``--shards 1``.  Rows are byte-identical across shard counts — the
+    policy only moves wall-clock, like ``jobs``.
     ``metrics`` (default on; ``--no-metrics`` clears it) captures the
     sim-time metrics registry around every executed point.  The stable
     snapshot is a deterministic pure function of the point, so — unlike
@@ -330,7 +347,8 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
             + ("" if fork else ", fork disabled"))
 
     if group_tasks:
-        payload = [(g, fork, fuse, trace_jit) for g in group_tasks]
+        payload = [(g, fork, fuse, trace_jit, shards, shard_backend)
+                   for g in group_tasks]
         if jobs > 1 and len(group_tasks) > 1:
             with multiprocessing.Pool(min(jobs, len(group_tasks))) as pool:
                 group_outs = pool.map(_exec_group, payload, chunksize=1)
@@ -388,7 +406,8 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
 def build_meta(*, fast: bool, smoke: bool, jobs: int,
                trace: bool = False, fork: bool = True,
                fuse: bool = True, trace_jit: bool = True,
-               metrics: bool = True) -> dict:
+               metrics: bool = True,
+               shards: int | str = 1, shard_backend: str = "serial") -> dict:
     """Host/run metadata shared by every figure payload of one run.
 
     Everything here is allowed to differ between two otherwise identical
@@ -410,6 +429,13 @@ def build_meta(*, fast: bool, smoke: bool, jobs: int,
         "fuse": fuse,
         "trace_jit": trace_jit,
         "metrics_enabled": metrics,
+        # Rows are shard-count invariant (the determinism tests pin it);
+        # shards only move wall-clock, so they live in meta like jobs.
+        "shards": {
+            "requested": shards,
+            "backend": shard_backend,
+            "cpus": os.cpu_count() or 1,
+        },
     }
 
 

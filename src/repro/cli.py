@@ -225,6 +225,20 @@ def _cmd_figures(args) -> int:
     return 0
 
 
+def _parse_shards(value: str) -> int | str:
+    """``--shards`` accepts a positive integer or the string 'auto'."""
+    if value == "auto":
+        return "auto"
+    try:
+        n = int(value)
+    except ValueError:
+        raise ValueError(f"--shards must be an integer or 'auto', "
+                         f"got {value!r}") from None
+    if n < 1:
+        raise ValueError("--shards must be >= 1")
+    return n
+
+
 def _cmd_bench_run(args) -> int:
     from .bench.orchestrator import (
         build_meta,
@@ -239,6 +253,7 @@ def _cmd_bench_run(args) -> int:
     try:
         names = resolve_names(args.figures or None)
         jobs = resolve_jobs(args.jobs)
+        shards = _parse_shards(args.shards)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -254,11 +269,13 @@ def _cmd_bench_run(args) -> int:
     runs = run_figures(names, fast=fast, smoke=args.smoke, jobs=jobs,
                        store=store, trace=args.trace, fork=fork, fuse=fuse,
                        trace_jit=trace_jit, metrics=metrics,
+                       shards=shards, shard_backend=args.shard_backend,
                        log=None if args.quiet else
                        (lambda m: print(m, file=sys.stderr)))
     meta = build_meta(fast=fast, smoke=args.smoke, jobs=jobs,
                       trace=args.trace, fork=fork, fuse=fuse,
-                      trace_jit=trace_jit, metrics=metrics)
+                      trace_jit=trace_jit, metrics=metrics,
+                      shards=shards, shard_backend=args.shard_backend)
     paths = write_runs(runs, args.out, meta)
     if not args.quiet:
         print(render_runs_text(runs))
@@ -300,9 +317,11 @@ def _cmd_profile(args) -> int:
     from .bench.profile import profile_figures, render_profile_text
 
     try:
+        shards = _parse_shards(args.shards)
         report = profile_figures(args.figures or None, fast=not args.full,
                                  smoke=args.quick, top=args.top,
-                                 hot_loops=args.hot_loops)
+                                 hot_loops=args.hot_loops, shards=shards,
+                                 shard_backend=args.shard_backend)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -442,6 +461,16 @@ def make_parser() -> argparse.ArgumentParser:
                    help="skip the metrics registry: no meta.metrics "
                         "block in the result files (rows are identical "
                         "either way)")
+    b.add_argument("--shards", default="1",
+                   help="DES shards per world: an integer or 'auto' for "
+                        "one per CPU, capped at the world's node count "
+                        "(default 1 = single heap; rows are identical "
+                        "either way)")
+    b.add_argument("--shard-backend", default="serial",
+                   choices=("serial", "thread"),
+                   help="sharded-run scheduler: 'serial' interleaves "
+                        "shards on one thread, 'thread' runs one thread "
+                        "per shard (default serial)")
     b.add_argument("--quiet", action="store_true",
                    help="suppress progress and text tables")
     b.set_defaults(fn=_cmd_bench_run)
@@ -502,6 +531,13 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--hot-loops", action="store_true",
                    help="report the trace JIT's hot back-edges and "
                         "per-anchor trace coverage")
+    p.add_argument("--shards", default="1",
+                   help="DES shards per world for shardable sweeps "
+                        "(integer or 'auto'); adds a per-shard busy vs "
+                        "sync-stall utilization block")
+    p.add_argument("--shard-backend", default="serial",
+                   choices=("serial", "thread"),
+                   help="sharded-run scheduler (default serial)")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the report as JSON")
     p.set_defaults(fn=_cmd_profile)

@@ -170,7 +170,10 @@ def make_world(hier_cfg: HierarchyConfig | None = None,
             # Nodes beyond the pair get their own config instance: a
             # RuntimeConfig is mutable and must not alias across nodes.
             cfg = RuntimeConfig(**vars(server_cfg))
-        runtimes.append(TwoChainsRuntime(bed.engine, node, hca,
+        # Each runtime schedules on its own node's engine: the shared
+        # Engine on a single-heap world, the node's shard view when the
+        # DES is sharded (sim/shard.py).
+        runtimes.append(TwoChainsRuntime(node.engine, node, hca,
                                          bed.qps_from(i), cfg=cfg,
                                          ucp_cfg=ucp_cfg))
     if build is not None:
@@ -219,7 +222,15 @@ def world_setup_key(hier_cfg: HierarchyConfig | None = None,
     """
     if build is not None:
         return None
+    from ..sim import shard as _shard
+    requested, backend = _shard.get_policy()
+    nshards = _shard.resolve_shards(requested,
+                                    topology.nodes if topology else 2)
     doc = {
+        # Worlds built under different effective shard counts are not
+        # interchangeable setup-cache entries (their engines differ even
+        # though measured rows are identical by the determinism contract).
+        "shards": [nshards, backend if nshards > 1 else "serial"],
         "hier": _jsonable(asdict(hier_cfg)) if is_dataclass(hier_cfg) else None,
         "client": _jsonable(asdict(client_cfg)) if is_dataclass(client_cfg)
         else None,

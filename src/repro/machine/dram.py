@@ -62,6 +62,26 @@ class Dram:
         self.lines_moved += lines
         return q
 
+    def charge_bandwidth_bulk(self, now: float, lines: int) -> float:
+        """``lines`` back-to-back single-line :meth:`charge_bandwidth`
+        calls at one instant, batched (the stress workload's pollution
+        charges are the hot caller).  Float-identical to the per-line
+        loop: after the first line the channel is busy past ``now``, so
+        every later call reduces to ``busy_until += service_quantum`` —
+        replayed here as repeated addition, never rewritten as one
+        multiply, which would round differently.  Returns the queue
+        delay the first line saw."""
+        if lines <= 0:
+            return 0.0
+        q = self.queue_delay(now)
+        s = self.service_per_line_ns
+        b = max(now, self.busy_until) + s
+        for _ in range(lines - 1):
+            b += s
+        self.busy_until = b
+        self.lines_moved += lines
+        return q
+
     def inject_busy(self, now: float, ns: float) -> None:
         """Used by the stress-workload model: steal channel time."""
         self.busy_until = max(now, self.busy_until) + ns

@@ -70,7 +70,8 @@ class StressWorkload:
     def _run(self):
         # fig11/fig12 run this body millions of times, so every per-tick
         # attribute lookup is hoisted and the LLC pollution goes through
-        # the bulk install_many path.  The RNG draw order and every float
+        # the bulk install_many / charge_bandwidth_bulk paths.  The RNG
+        # draw order and every float
         # expression are unchanged, so results stay byte-identical: LLC
         # installs never read DRAM state and charge_bandwidth never reads
         # LLC state, so batching the dirty-eviction charges after the
@@ -84,7 +85,7 @@ class StressWorkload:
         logn = rng.lognormal
         dram = node.hier.dram
         inject = dram.inject_busy
-        charge = dram.charge_bandwidth
+        charge_bulk = dram.charge_bandwidth_bulk
         install_many = node.hier.llc.install_many
         preempt = node.preempt
         dd = cfg.dram_duty
@@ -110,8 +111,8 @@ class StressWorkload:
             # (2) LLC pollution
             if npoll:
                 k = install_many(rint(0, llc_span_lines, npoll).tolist())
-                for _ in range(k):
-                    charge(now, 1)
+                if k:
+                    charge_bulk(now, k)
             # (3) preemption
             for core in cores:
                 if rnd() < pp:

@@ -21,10 +21,16 @@ from typing import Mapping
 from ..errors import RdmaError
 from ..machine.hierarchy import HierarchyConfig
 from ..machine.node import Node
+from ..sim import shard as _shard
 from ..sim.engine import Engine
 from ..sim.rng import RngPool
 from .params import DEFAULT_LINK, LinkParams
-from .verbs import Hca, QueuePair, connect
+from .verbs import Hca, QueuePair, connect, envelope_lookahead_ns
+
+
+def shard_of(node_id: int, nodes: int, nshards: int) -> int:
+    """Contiguous node -> shard partition (shard sizes differ by <= 1)."""
+    return node_id * nshards // nodes
 
 DEFAULT_MEM_SIZE = 64 * 1024 * 1024
 
@@ -145,7 +151,16 @@ class Fabric:
         if topology is None:
             topology = Topology.pair(link=link,
                                      mem_size=mem_size or DEFAULT_MEM_SIZE)
-        engine = Engine()
+        requested, backend = _shard.get_policy()
+        nshards = _shard.resolve_shards(requested, topology.nodes)
+        if nshards > 1:
+            coord = _shard.ShardedEngine(nshards, backend=backend)
+            engine = coord
+            engines = [coord.view(shard_of(i, topology.nodes, nshards))
+                       for i in range(topology.nodes)]
+        else:
+            engine = Engine()
+            engines = [engine] * topology.nodes
         rngs = RngPool(DEFAULT_SEED if seed is None else seed)
         cfg0 = hier_cfg or HierarchyConfig()
         nodes: list[Node] = []
@@ -153,18 +168,35 @@ class Fabric:
             # Each node gets its own hierarchy instance with identical
             # config (node 0 owns the caller's instance, like before).
             cfg = cfg0 if i == 0 else HierarchyConfig(**vars(cfg0))
-            nodes.append(Node(engine, i, mem_size=topology.mem_size,
+            nodes.append(Node(engines[i], i, mem_size=topology.mem_size,
                               hier_cfg=cfg))
         # One HCA per node; its default link is the topology default (the
         # per-pair override rides on the QP, not the HCA).
         hcas = [Hca(node, topology.default_link) for node in nodes]
         qps: dict[tuple[int, int], QueuePair] = {}
         for i, j in topology.pairs():
-            qps[(i, j)], qps[(j, i)] = connect(
-                engine, hcas[i], hcas[j],
-                link_out=topology.link_for(i, j),
-                link_back=topology.link_for(j, i))
+            if nshards > 1:
+                # Each QP schedules on its source node's shard; pairs
+                # that cross shards register the channel lookahead.
+                lo = topology.link_for(i, j)
+                lb = topology.link_for(j, i)
+                qps[(i, j)] = QueuePair(engines[i], hcas[i], hcas[j], link=lo)
+                qps[(j, i)] = QueuePair(engines[j], hcas[j], hcas[i], link=lb)
+                si, sj = engines[i].shard, engines[j].shard
+                if si != sj:
+                    coord.register_link(si, sj, envelope_lookahead_ns(lo))
+                    coord.register_link(sj, si, envelope_lookahead_ns(lb))
+            else:
+                qps[(i, j)], qps[(j, i)] = connect(
+                    engine, hcas[i], hcas[j],
+                    link_out=topology.link_for(i, j),
+                    link_back=topology.link_for(j, i))
         return cls(engine, rngs, topology, nodes, hcas, qps)
+
+    @property
+    def nshards(self) -> int:
+        """Effective DES shard count this fabric was built with."""
+        return getattr(self.engine, "nshards", 1)
 
     # -- fabric-aware addressing -------------------------------------------
 

@@ -1,0 +1,664 @@
+"""Conservative parallel DES shards (Chandy-Misra-Bryant style).
+
+The single-heap :class:`~repro.sim.engine.Engine` serializes every node's
+events through one priority queue; an N-node fabric therefore runs on one
+core no matter how wide the world is.  This module shards the DES **by
+node**: each shard owns a private ``Engine`` heap holding one or more
+nodes (plus their HCAs, caches, DRAM, noise workers, and VM), and the
+RDMA fabric is the *only* cross-shard edge.
+
+Synchronization is conservative.  Every directed cross-shard channel
+``(src, dst)`` carries a static **lookahead** ``L`` — the minimum
+simulated latency any fabric message can take on that link (software
+post + 2x HCA + 2x PCIe + wire propagation + zero-byte serialization).
+A shard may execute events strictly below its **gate**::
+
+    gate(s) = min over inbound channels (p -> s) of  horizon(p) + L(p, s)
+
+where ``horizon(p)`` is a lower bound on any timestamp shard ``p`` can
+still produce (its heap head, or its earliest outstanding *expect*, see
+below).  Unsolicited cross-shard messages (put deliveries, get requests)
+are validated against the lookahead at send time; scheduling onto a
+foreign shard below the channel lookahead is a hard
+:class:`~repro.errors.SimulationError` — that rule is why figures whose
+drivers poke foreign-node state mid-run force ``--shards 1``
+(``FigureSpec.shardable``).
+
+**Responses** (put retire/ACK status, get response data) arrive at a
+time the source computed at post time from source-local state alone, so
+they cannot honour a lookahead.  They ride an **expect barrier**
+instead: the source registers ``expect(T)`` when posting; it may keep
+executing local events with ``t < T`` (and inbound envelopes with
+``t <= T``) but blocks at ``T`` until the response — an *unchecked*
+envelope arriving at exactly ``T`` — resolves the barrier.  Expects
+count toward the published horizon, so peers never outrun a response.
+
+Determinism.  Heap keys are ``(t, seq)``; local events use the shard's
+positive insertion sequence and envelopes use a negative band derived
+from ``(src_shard, per-channel seq)``, so at equal timestamps inbound
+fabric messages order before local events and among themselves by a
+globally consistent key.  Cross-shard state isolation (shards only
+communicate through timestamped envelopes whose values are computed
+identically to the single-heap run) makes committed benchmark rows
+byte-identical under ``--shards N`` vs ``--shards 1``; the registry-wide
+identity tests enforce it.
+
+Backends: ``serial`` (default) runs the windowed protocol on one OS
+thread — deterministic, debuggable, and what the identity tests pin.
+``thread`` runs one OS thread per shard with barrier-synchronized
+rounds; under CPython's GIL it validates the protocol rather than
+buying wall-clock, and real speedups await a process backend (the
+benchmark drivers still execute in the coordinating interpreter and
+read world state between runs, which a process split must RPC).
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable
+
+from ..errors import SimulationError
+from ..obs.metrics import METRICS as _M
+from ..obs.tracer import PID_SIM, TID_DES, TRACER as _T
+from ..perf import COUNTERS as _C
+from .engine import Engine, Event, Process, ProcessBody
+
+_INF = float("inf")
+
+# Envelope sequence band: negative, so envelopes sort before local events
+# (positive engine seqs) at equal timestamps; ordered among themselves by
+# (src_shard, per-channel seq) for a globally consistent tie-break.
+_ENV_BASE = -(1 << 62)
+_ENV_STRIDE = 1 << 40
+
+BACKENDS = ("serial", "thread")
+
+
+# ---------------------------------------------------------------------------
+# process-global shard policy (mirrors isa.vm.set_fusion / set_trace_jit)
+# ---------------------------------------------------------------------------
+
+_POLICY: tuple[int | str, str] = (1, "serial")
+
+
+def set_policy(shards: int | str, backend: str = "serial") -> None:
+    """Set the process-global shard request: a count or ``"auto"``."""
+    global _POLICY
+    if backend not in BACKENDS:
+        raise SimulationError(f"unknown shard backend {backend!r}; "
+                              f"known: {BACKENDS}")
+    if shards != "auto":
+        shards = int(shards)
+        if shards < 1:
+            raise SimulationError(f"shards must be >= 1, got {shards}")
+    _POLICY = (shards, backend)
+
+
+def get_policy() -> tuple[int | str, str]:
+    return _POLICY
+
+
+def resolve_shards(requested: int | str, nodes: int) -> int:
+    """Effective shard count for a world of ``nodes`` nodes."""
+    if requested == "auto":
+        requested = os.cpu_count() or 1
+    return max(1, min(int(requested), nodes))
+
+
+@contextmanager
+def forced_single():
+    """Run a block with sharding off (legacy figures whose drivers touch
+    foreign-node state mid-run; see ``FigureSpec.shardable``)."""
+    global _POLICY
+    saved = _POLICY
+    _POLICY = (1, saved[1])
+    try:
+        yield
+    finally:
+        _POLICY = saved
+
+
+@contextmanager
+def scoped_policy(shards: int | str, backend: str = "serial"):
+    global _POLICY
+    saved = _POLICY
+    set_policy(shards, backend)
+    try:
+        yield
+    finally:
+        _POLICY = saved
+
+
+# ---------------------------------------------------------------------------
+# per-run utilization stats (twochains profile; unstable shard metrics)
+# ---------------------------------------------------------------------------
+
+class RunStats:
+    """Accumulated per-shard utilization across ShardedEngine runs in
+    this process: busy wall, sync-stall wall, null messages, events."""
+
+    def __init__(self) -> None:
+        self.per_shard: dict[int, dict[str, float]] = {}
+        self.runs = 0
+
+    def reset(self) -> None:
+        self.per_shard.clear()
+        self.runs = 0
+
+    def fold(self, coord: "ShardedEngine") -> None:
+        self.runs += 1
+        for s in range(coord.nshards):
+            d = self.per_shard.setdefault(
+                s, {"events": 0, "busy_wall_ns": 0.0,
+                    "stall_wall_ns": 0.0, "null_msgs": 0})
+            d["events"] += coord._events[s]
+            d["busy_wall_ns"] += coord._busy_wall[s]
+            d["stall_wall_ns"] += coord._stall_wall[s]
+            d["null_msgs"] += coord._null_msgs[s]
+
+    def snapshot(self) -> dict:
+        out = {}
+        for s in sorted(self.per_shard):
+            d = self.per_shard[s]
+            wall = d["busy_wall_ns"] + d["stall_wall_ns"]
+            out[s] = dict(d, busy_frac=(d["busy_wall_ns"] / wall)
+                          if wall else 0.0)
+        return out
+
+
+#: Process-wide aggregate, reset/read by ``twochains profile``.
+RUN_STATS = RunStats()
+
+
+# ---------------------------------------------------------------------------
+# the per-shard engine facade
+# ---------------------------------------------------------------------------
+
+class EngineView:
+    """A shard-bound facade quacking like :class:`Engine`.
+
+    Every model object (Node, HCA, runtime, worker, waiter) holds the
+    view of its home shard; scheduling through a view routes locally
+    when the caller executes on (or outside) that shard and becomes a
+    lookahead-checked envelope when another shard is executing.
+    """
+
+    __slots__ = ("_coord", "shard", "_eng")
+
+    def __init__(self, coord: "ShardedEngine", shard: int):
+        self._coord = coord
+        self.shard = shard
+        self._eng = coord.shards[shard]
+
+    @property
+    def now(self) -> float:
+        return self._eng.now
+
+    # -- scheduling ------------------------------------------------------
+
+    def call_at(self, t: float, fn: Callable, *args: Any) -> None:
+        cur = self._coord.current_shard
+        if cur is None or cur == self.shard:
+            self._eng.call_at(t, fn, *args)
+        else:
+            self._coord.send(cur, self.shard, t, fn, args)
+
+    def call_after(self, dt: float, fn: Callable, *args: Any) -> None:
+        self.call_at(self._eng.now + dt, fn, *args)
+
+    def event(self, name: str = "event") -> Event:
+        return Event(self, name)  # type: ignore[arg-type]
+
+    def spawn(self, body: ProcessBody, name: str = "proc") -> Process:
+        proc = Process(self, body, name)  # type: ignore[arg-type]
+        self.call_at(self._eng.now, proc._resume, None)
+        return proc
+
+    # -- response barriers (see module docstring) ------------------------
+
+    def expect(self, t: float) -> float:
+        """Register a response barrier at ``t``; returns the token to
+        pass to :meth:`resolve`."""
+        heapq.heappush(self._coord._expects[self.shard], t)
+        return t
+
+    def resolve(self, token: float, fn: Callable, *args: Any) -> None:
+        """Deliver the response for an earlier ``expect(token)``: an
+        unchecked envelope executing on this view's shard at exactly
+        ``token``, clearing the barrier before running ``fn``."""
+        coord = self._coord
+        cur = coord.current_shard
+        shard = self.shard
+
+        def _resolved() -> None:
+            exps = coord._expects[shard]
+            if not exps or exps[0] != token:
+                raise SimulationError(
+                    f"shard {shard}: response at t={token} does not match "
+                    f"earliest expect "
+                    f"({exps[0] if exps else 'none'})")
+            heapq.heappop(exps)
+            fn(*args)
+
+        if cur is None or cur == shard:
+            # Same-shard response (e.g. serial fallback): clear inline.
+            self._eng.call_at(token, _resolved)
+        else:
+            coord.send(cur, shard, token, _resolved, (), checked=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EngineView(shard={self.shard}, now={self._eng.now})"
+
+
+def shard_route(src_engine, dst_engine):
+    """``(src_view, dst_view)`` when the two engines are distinct shards
+    of one ShardedEngine, else None (same shard / plain Engine)."""
+    if src_engine is dst_engine:
+        return None
+    if (isinstance(src_engine, EngineView)
+            and isinstance(dst_engine, EngineView)
+            and src_engine._coord is dst_engine._coord
+            and src_engine.shard != dst_engine.shard):
+        return src_engine, dst_engine
+    return None
+
+
+# ---------------------------------------------------------------------------
+# the coordinator
+# ---------------------------------------------------------------------------
+
+class ShardedEngine:
+    """N per-shard heaps advanced under conservative lookahead windows.
+
+    Presents the :class:`Engine` surface the world/bench layers consume
+    (``now``, ``spawn``, ``event``, ``run``, ``run_process``,
+    ``snapshot``/``restore``); model objects talk to their shard's
+    :class:`EngineView` instead.
+    """
+
+    def __init__(self, nshards: int, backend: str = "serial"):
+        if nshards < 1:
+            raise SimulationError(f"need >= 1 shard, got {nshards}")
+        if backend not in BACKENDS:
+            raise SimulationError(f"unknown shard backend {backend!r}")
+        self.nshards = nshards
+        self.backend = backend
+        self.shards = [Engine() for _ in range(nshards)]
+        self.views = [EngineView(self, s) for s in range(nshards)]
+        # Directed channels: (src, dst) -> FIFO of heap entries.
+        self._channels: dict[tuple[int, int], Any] = {}
+        self._chan_seq: dict[tuple[int, int], int] = {}
+        self._lookahead: dict[tuple[int, int], float] = {}
+        # Per-dst inbound lists, precomputed at register_link time.
+        self._inbound: list[list[tuple[int, Any]]] = [[] for _ in range(nshards)]
+        self._in_la: list[list[tuple[int, float]]] = [[] for _ in range(nshards)]
+        self._expects: list[list[float]] = [[] for _ in range(nshards)]
+        self._tls = threading.local()
+        self._running = False
+        # per-run stats (reset each run(), folded into RUN_STATS)
+        self._events = [0] * nshards
+        self._busy_wall = [0.0] * nshards
+        self._stall_wall = [0.0] * nshards
+        self._null_msgs = [0] * nshards
+
+    # -- topology wiring -------------------------------------------------
+
+    def view(self, shard: int) -> EngineView:
+        return self.views[shard]
+
+    def register_link(self, src: int, dst: int, lookahead_ns: float) -> None:
+        """Declare a fabric edge between shards with its minimum message
+        latency; the channel lookahead is the min over registered QPs."""
+        if src == dst:
+            return
+        if lookahead_ns <= 0:
+            raise SimulationError(
+                f"cross-shard link {src}->{dst} needs positive lookahead, "
+                f"got {lookahead_ns}")
+        key = (src, dst)
+        if key not in self._channels:
+            from collections import deque
+            self._channels[key] = deque()
+            self._chan_seq[key] = 0
+            self._lookahead[key] = lookahead_ns
+            self._inbound[dst].append((src, self._channels[key]))
+            self._in_la[dst].append((src, lookahead_ns))
+        else:
+            la = min(self._lookahead[key], lookahead_ns)
+            self._lookahead[key] = la
+            self._in_la[dst] = [(s, la if s == src else v)
+                                for s, v in self._in_la[dst]]
+
+    # -- engine-compatible surface --------------------------------------
+
+    @property
+    def current_shard(self) -> int | None:
+        return getattr(self._tls, "shard", None)
+
+    def _active_view(self) -> EngineView:
+        cur = self.current_shard
+        return self.views[cur if cur is not None else 0]
+
+    @property
+    def now(self) -> float:
+        cur = self.current_shard
+        if cur is not None:
+            return self.shards[cur].now
+        return max(e.now for e in self.shards)
+
+    def call_at(self, t: float, fn: Callable, *args: Any) -> None:
+        self._active_view().call_at(t, fn, *args)
+
+    def call_after(self, dt: float, fn: Callable, *args: Any) -> None:
+        view = self._active_view()
+        view.call_at(view.now + dt, fn, *args)
+
+    def event(self, name: str = "event") -> Event:
+        return self._active_view().event(name)
+
+    def spawn(self, body: ProcessBody, name: str = "proc") -> Process:
+        return self._active_view().spawn(body, name)
+
+    def all_of(self, procs: Iterable[Process]) -> ProcessBody:
+        for p in procs:
+            if not p.finished:
+                yield p.done_event
+
+    def run_process(self, body: ProcessBody, name: str = "main",
+                    until: float | None = None) -> Any:
+        proc = self.spawn(body, name)
+        self.run(until=until)
+        if not proc.finished:
+            raise SimulationError(
+                f"process {name} did not finish (now={self.now}); deadlock?")
+        return proc.result
+
+    # -- cross-shard envelopes -------------------------------------------
+
+    def send(self, src: int, dst: int, t: float, fn: Callable,
+             args: tuple, checked: bool = True) -> None:
+        key = (src, dst)
+        la = self._lookahead.get(key)
+        if la is None:
+            raise SimulationError(
+                f"no fabric edge between shard {src} and shard {dst}: only "
+                f"RDMA links may cross shards (run with --shards 1 for "
+                f"drivers that touch foreign-node state directly)")
+        if checked:
+            now_src = self.shards[src].now
+            if t < now_src + la - 1e-6:
+                raise SimulationError(
+                    f"cross-shard schedule below lookahead: shard {src} at "
+                    f"t={now_src} scheduled t={t} on shard {dst} "
+                    f"(lookahead {la} ns); only fabric-latency edges may "
+                    f"cross shards")
+        seq = self._chan_seq[key]
+        self._chan_seq[key] = seq + 1
+        self._channels[key].append(
+            (t, _ENV_BASE + src * _ENV_STRIDE + seq, fn, args))
+
+    def _absorb(self, s: int) -> None:
+        heap = self.shards[s]._heap
+        for _src, chan in self._inbound[s]:
+            while chan:
+                heapq.heappush(heap, chan.popleft())
+
+    # -- the conservative window protocol --------------------------------
+
+    def _horizon(self, s: int) -> float:
+        """Lower bound on any timestamp shard ``s`` can still produce;
+        call only with the shard's inbound channels drained."""
+        eng = self.shards[s]
+        h = eng._heap[0][0] if eng._heap else _INF
+        exps = self._expects[s]
+        if exps and exps[0] < h:
+            h = exps[0]
+        return h
+
+    def _gate(self, s: int, horizons: list[float]) -> float:
+        gate = _INF
+        for p, la in self._in_la[s]:
+            g = horizons[p] + la
+            if g < gate:
+                gate = g
+        return gate
+
+    def _drain(self, s: int, gate: float, until: float | None,
+               budget: int) -> int:
+        """Execute shard ``s`` events with ``t < gate`` (and ``t <=
+        until``), honouring expect barriers.  Returns events executed."""
+        eng = self.shards[s]
+        heap = eng._heap
+        expects = self._expects[s]
+        pop = heapq.heappop
+        executed = 0
+        self._tls.shard = s
+        try:
+            while heap:
+                t = heap[0][0]
+                if t >= gate:
+                    break
+                if until is not None and t > until:
+                    break
+                if expects:
+                    te = expects[0]
+                    # Band-0 envelopes at exactly the barrier time are the
+                    # response (or ties ordered before it); locals at or
+                    # past the barrier wait for the resolve.
+                    if t > te or (t == te and heap[0][1] >= 0):
+                        break
+                t, _seq, fn, args = pop(heap)
+                eng.now = t
+                if _T.enabled:
+                    owner = getattr(fn, "__self__", None)
+                    label = getattr(owner, "name", None)
+                    if not isinstance(label, str):
+                        label = getattr(fn, "__qualname__", "callback")
+                    _T.instant(PID_SIM, TID_DES, label, t)
+                fn(*args)
+                executed += 1
+                if executed > budget:
+                    raise SimulationError(
+                        f"shard {s} exceeded event budget; model is likely "
+                        f"spinning")
+        finally:
+            self._tls.shard = None
+        self._events[s] += executed
+        return executed
+
+    def run(self, until: float | None = None,
+            max_events: int = 50_000_000) -> None:
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        self._events = [0] * self.nshards
+        self._busy_wall = [0.0] * self.nshards
+        self._stall_wall = [0.0] * self.nshards
+        self._null_msgs = [0] * self.nshards
+        t_start = max(e.now for e in self.shards)
+        backend = self.backend
+        if backend == "thread" and (_T.enabled or self.nshards == 1):
+            # The tracer's event list is append-only but unordered under
+            # concurrency; keep traced runs on the deterministic path.
+            backend = "serial"
+        try:
+            if backend == "thread":
+                self._run_threaded(until, max_events)
+            else:
+                self._run_serial(until, max_events)
+        finally:
+            self._running = False
+            end = max(e.now for e in self.shards)
+            if until is not None and until > end:
+                end = until
+            # The single-heap clock ends at the last executed event
+            # globally; sync every shard so idle reads and subsequent
+            # posts see the same clock a single heap would.
+            for eng in self.shards:
+                eng.now = end
+            _C.des_events += sum(self._events)
+            _C.sim_ns += end - t_start
+            RUN_STATS.fold(self)
+            if _M.enabled:
+                for s in range(self.nshards):
+                    if self._null_msgs[s]:
+                        _M.count(f"tc_shard_null_msgs_total|shard={s}",
+                                 end, self._null_msgs[s], stable=False)
+                    if self._stall_wall[s]:
+                        _M.count(f"tc_shard_sync_stall_ns_total|shard={s}",
+                                 end, self._stall_wall[s], stable=False)
+
+    def _run_serial(self, until: float | None, max_events: int) -> None:
+        n = self.nshards
+        budget = max_events
+        total = 0
+        perf = time.perf_counter
+        while True:
+            for s in range(n):
+                self._absorb(s)
+            horizons = [self._horizon(s) for s in range(n)]
+            floor = min(horizons)
+            if floor is _INF or floor == _INF:
+                return  # fully drained (no events, no expects)
+            if until is not None and floor > until:
+                return  # Engine.run(until) semantics: clock syncs in run()
+            progress = 0
+            for s in range(n):
+                if horizons[s] is _INF:
+                    continue
+                t0 = perf()
+                ex = self._drain(s, self._gate(s, horizons), until, budget)
+                self._busy_wall[s] += (perf() - t0) * 1e9
+                if ex:
+                    progress += ex
+                    total += ex
+                else:
+                    # Pending work but the window excluded it: in message
+                    # terms this pass re-published the horizon with no
+                    # event traffic — a null-message heartbeat.
+                    self._null_msgs[s] += 1
+                    if _T.enabled:
+                        _T.instant(PID_SIM, TID_DES, "shard.sync",
+                                   self.shards[s].now,
+                                   {"shard": s, "horizon": horizons[s]})
+            if total > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; model is likely spinning")
+            if not progress:
+                self._raise_deadlock(horizons, until)
+
+    def _run_threaded(self, until: float | None, max_events: int) -> None:
+        n = self.nshards
+        barrier = threading.Barrier(n)
+        horizons = [0.0] * n
+        state = {"done": False, "progress": 0, "total": 0, "error": None}
+        lock = threading.Lock()
+        perf = time.perf_counter
+
+        def loop(s: int) -> None:
+            try:
+                while True:
+                    barrier.wait()
+                    # Phase 1: drain inbound channels, publish an exact
+                    # horizon.  Nobody sends during this phase, so the
+                    # round's horizons form a consistent snapshot.
+                    self._absorb(s)
+                    horizons[s] = self._horizon(s)
+                    if s == 0:
+                        state["progress"] = 0
+                    barrier.wait()
+                    if state["error"] is not None:
+                        return
+                    floor = min(horizons)
+                    if floor == _INF or (until is not None and floor > until):
+                        return
+                    # Phase 2: every shard executes its window concurrently.
+                    t0 = perf()
+                    ex = self._drain(s, self._gate(s, horizons), until,
+                                     max_events)
+                    t1 = perf()
+                    if ex:
+                        self._busy_wall[s] += (t1 - t0) * 1e9
+                        with lock:
+                            state["progress"] += ex
+                            state["total"] += ex
+                    elif horizons[s] != _INF:
+                        self._null_msgs[s] += 1
+                        self._stall_wall[s] += (t1 - t0) * 1e9
+                    barrier.wait()
+                    if state["total"] > max_events:
+                        raise SimulationError(
+                            f"exceeded {max_events} events; model is "
+                            f"likely spinning")
+                    if state["progress"] == 0:
+                        self._raise_deadlock(horizons, until)
+            except BaseException as exc:  # propagate to the caller
+                with lock:
+                    if state["error"] is None:
+                        state["error"] = exc
+                barrier.abort()
+
+        threads = [threading.Thread(target=loop, args=(s,),
+                                    name=f"shard-{s}", daemon=True)
+                   for s in range(1, n)]
+        for th in threads:
+            th.start()
+        try:
+            loop(0)
+        finally:
+            for th in threads:
+                th.join()
+        if state["error"] is not None:
+            err = state["error"]
+            if not isinstance(err, threading.BrokenBarrierError):
+                raise err
+
+    def _raise_deadlock(self, horizons: list[float],
+                        until: float | None) -> None:
+        detail = ", ".join(
+            f"shard {s}: head={horizons[s]}"
+            f"{' expect=' + str(self._expects[s][0]) if self._expects[s] else ''}"
+            for s in range(self.nshards) if horizons[s] != _INF)
+        raise SimulationError(
+            f"shard window made no progress (conservative deadlock): "
+            f"{detail}; an expect barrier is missing its response or a "
+            f"cross-shard edge was not registered")
+
+    # -- checkpointing ----------------------------------------------------
+
+    @property
+    def quiescent(self) -> bool:
+        if self._running:
+            return False
+        if any(e._heap for e in self.shards):
+            return False
+        if any(self._expects):
+            return False
+        return not any(self._channels.values())
+
+    def snapshot(self) -> tuple:
+        if not self.quiescent:
+            raise SimulationError(
+                "sharded engine checkpoint requires quiescence: "
+                f"pending={[len(e._heap) for e in self.shards]}, "
+                f"expects={[len(x) for x in self._expects]}, "
+                f"running={self._running}")
+        return (tuple(e.snapshot() for e in self.shards),
+                dict(self._chan_seq))
+
+    def restore(self, snap: tuple) -> None:
+        if not self.quiescent:
+            raise SimulationError(
+                "sharded engine restore requires quiescence")
+        engines, chan_seq = snap
+        for eng, es in zip(self.shards, engines):
+            eng.restore(es)
+        self._chan_seq.update(chan_seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ShardedEngine(shards={self.nshards}, "
+                f"backend={self.backend!r}, now={self.now})")

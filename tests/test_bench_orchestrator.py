@@ -172,8 +172,9 @@ TOP_LEVEL_KEYS = {
 META_KEYS = {
     "generated_at", "host", "platform", "python", "git_sha",
     "code_version", "seed", "fast", "smoke", "jobs", "trace", "fork", "fuse",
-    "trace_jit", "metrics_enabled", "wall_clock_s", "sweep_wall_s",
-    "cache_hits", "cache_misses", "setup_cache", "sim_throughput", "metrics",
+    "trace_jit", "metrics_enabled", "shards", "wall_clock_s",
+    "sweep_wall_s", "cache_hits", "cache_misses", "setup_cache",
+    "sim_throughput", "metrics",
 }
 
 SIM_THROUGHPUT_KEYS = {

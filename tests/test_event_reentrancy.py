@@ -1,0 +1,148 @@
+"""Re-entrancy contract of :class:`repro.sim.engine.Event`.
+
+``fire`` must (a) snapshot the waiter list before waking anyone, so a
+waiter that re-waits on the same event *during its resume* is not woken
+again by the same fire, and (b) defer every resume through the heap, so
+waking happens in deterministic insertion order at the fire timestamp.
+Mailbox-style reuse — one event object signalled repeatedly, consumers
+re-waiting under zero-delay resumes — is exactly how QP completion
+events, the chain-KV ack events, and the mailbox doorbell use Events,
+so regressions here corrupt delivery counts everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Delay, Engine
+
+
+def test_rewait_during_resume_not_woken_by_same_fire():
+    eng = Engine()
+    ev = eng.event("mbox")
+    wakes: list[object] = []
+
+    def consumer():
+        while True:
+            payload = yield ev
+            wakes.append(payload)
+
+    eng.spawn(consumer(), name="consumer")
+    eng.run(until=0.0)          # consumer parks on ev
+    assert ev.waiter_count == 1
+    assert ev.fire(payload="a") == 1
+    eng.run(until=0.0)
+    # One fire, one wake — the re-wait registered during the resume must
+    # wait for the *next* fire, not be swept up by this one.
+    assert wakes == ["a"]
+    assert ev.waiter_count == 1
+
+
+def test_double_fire_same_timestamp_wakes_once():
+    eng = Engine()
+    ev = eng.event("pulse")
+    wakes: list[object] = []
+
+    def consumer():
+        wakes.append((yield ev))
+        wakes.append((yield ev))
+
+    eng.spawn(consumer(), name="consumer")
+    eng.run(until=0.0)
+    # Second fire at the same instant finds no waiters: the consumer's
+    # resume is still pending on the heap, and it must NOT see "b".
+    assert ev.fire("a") == 1
+    assert ev.fire("b") == 0
+    eng.run(until=0.0)
+    assert wakes == ["a"]
+    assert ev.waiter_count == 1
+    assert ev.fire_count == 2
+
+
+def test_mailbox_reuse_under_zero_delay_resume():
+    eng = Engine()
+    ev = eng.event("mbox")
+    seen: list[int] = []
+
+    def consumer():
+        while True:
+            seen.append((yield ev))
+
+    def producer():
+        for i in range(5):
+            ev.fire(i)
+            yield Delay(0.0)    # stay at t=0; consumer resumes between
+
+    eng.spawn(consumer(), name="consumer")
+    eng.spawn(producer(), name="producer")
+    eng.run(until=0.0)
+    # Every fire lands after the consumer's zero-delay re-wait, so all
+    # five payloads arrive, in order, at one simulated instant.
+    assert seen == [0, 1, 2, 3, 4]
+    assert eng.now == 0.0
+
+
+def test_multi_waiter_fire_order_and_payload():
+    eng = Engine()
+    ev = eng.event("broadcast")
+    order: list[str] = []
+
+    def waiter(tag):
+        payload = yield ev
+        order.append(f"{tag}:{payload}")
+
+    for tag in ("w0", "w1", "w2"):
+        eng.spawn(waiter(tag), name=tag)
+    eng.run(until=0.0)
+    assert ev.fire("x") == 3
+    eng.run(until=0.0)
+    # Waiters wake in the order they blocked (heap insertion order).
+    assert order == ["w0:x", "w1:x", "w2:x"]
+
+
+def test_fire_from_within_a_resume_chains_without_reentering():
+    eng = Engine()
+    ping, pong = eng.event("ping"), eng.event("pong")
+    log: list[str] = []
+
+    def pinger():
+        for _ in range(3):
+            log.append(f"ping@{(yield ping)}")
+            pong.fire(len(log))
+
+    def ponger():
+        while True:
+            log.append(f"pong@{(yield pong)}")
+            ping.fire(len(log))
+
+    eng.spawn(pinger(), name="pinger")
+    eng.spawn(ponger(), name="ponger")
+    eng.run(until=0.0)
+    ping.fire(0)
+    eng.run(until=0.0)
+    # Strict alternation: each fire wakes exactly the parked peer; the
+    # firer (mid-resume) never self-wakes off its own fire.
+    assert log == ["ping@0", "pong@1", "ping@2", "pong@3", "ping@4",
+                   "pong@5"]
+    assert ping.fire_count == 4  # the kick-off fire plus 3 from ponger
+    assert pong.fire_count == 3
+
+
+def test_event_yield_after_engine_error_still_consistent():
+    # A waiter killed by an unrelated scheduling error must not leave a
+    # phantom entry that a later fire tries to resume into a dead body.
+    eng = Engine()
+    ev = eng.event("ev")
+
+    def bad():
+        yield ev
+        yield Delay(-1.0)       # raises inside the resume
+
+    eng.spawn(bad(), name="bad")
+    eng.run(until=0.0)
+    ev.fire(None)
+    with pytest.raises(SimulationError):
+        eng.run(until=0.0)
+    # The fire consumed the waiter before the body blew up.
+    assert ev.waiter_count == 0

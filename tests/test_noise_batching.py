@@ -1,0 +1,85 @@
+"""Float-order identity of the batched DRAM pollution-charge path.
+
+The stress workload (machine/noise.py) used to charge the DRAM ledger
+once per polluted dirty line; the batched ``charge_bandwidth_bulk``
+replaces k method calls with one.  The per-line ``charge_bandwidth``
+float sequence is the contract: ``busy_until`` must round identically
+(repeated addition, never one multiply), or every noise figure's tail
+rows drift.  These tests pin exact float equality at the ledger level
+and byte-identical rows for a real noise figure point (fig11).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.orchestrator import run_figures
+from repro.machine.dram import Dram
+
+
+def _charge_per_line(dram: Dram, now: float, lines: int) -> float:
+    """The pre-batching reference: k single-line charges."""
+    q = 0.0
+    for i in range(lines):
+        qq = dram.charge_bandwidth(now, 1)
+        if i == 0:
+            q = qq
+    return q
+
+
+def _mirror_drams() -> tuple[Dram, Dram]:
+    return Dram(), Dram()
+
+
+def test_bulk_matches_per_line_exactly():
+    a, b = _mirror_drams()
+    # Awkward fractional times exercise max(now, busy) on both branches
+    # (idle channel, backlogged channel) and accumulate rounding.
+    script = [(0.1, 48), (937.3, 1), (941.7, 17), (10_000.0, 48),
+              (10_001.1, 3), (123_456.789, 48)]
+    for now, k in script:
+        qa = _charge_per_line(a, now, k)
+        qb = b.charge_bandwidth_bulk(now, k)
+        assert qa == qb
+        assert a.busy_until == b.busy_until  # exact, not approx
+        assert a.lines_moved == b.lines_moved
+
+
+def test_bulk_matches_with_interleaved_traffic():
+    a, b = _mirror_drams()
+    for i in range(200):
+        now = i * 1000.0 + (i % 7) * 0.3
+        a.inject_busy(now, 550.0)
+        b.inject_busy(now, 550.0)
+        assert a.access(now, 2) == b.access(now, 2)
+        qa = _charge_per_line(a, now, 48)
+        qb = b.charge_bandwidth_bulk(now, 48)
+        assert qa == qb
+        assert a.busy_until == b.busy_until
+    assert a.snapshot() == b.snapshot()
+
+
+def test_bulk_zero_lines_is_a_noop():
+    d = Dram()
+    d.inject_busy(5.0, 100.0)
+    before = d.snapshot()
+    assert d.charge_bandwidth_bulk(5.0, 0) == 0.0
+    assert d.snapshot() == before
+
+
+def _fig11_row(monkeypatch, batched: bool) -> str:
+    if not batched:
+        # Reroute the bulk path through the pre-batching per-line loop.
+        def per_line(self, now, lines):
+            return _charge_per_line(self, now, lines)
+        monkeypatch.setattr(Dram, "charge_bandwidth_bulk", per_line)
+    runs = run_figures(["fig11"], smoke=True, jobs=1, store=None)
+    rows = [dict(p.row) for p in runs[0].points]
+    return json.dumps(rows, sort_keys=True)
+
+
+def test_fig11_rows_identical_either_path(monkeypatch):
+    batched = _fig11_row(monkeypatch, batched=True)
+    with monkeypatch.context() as mp:
+        reference = _fig11_row(mp, batched=False)
+    assert batched == reference

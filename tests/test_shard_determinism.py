@@ -1,0 +1,100 @@
+"""Row identity of the conservative parallel-DES shards (sim/shard.py).
+
+The whole point of sharding the DES is wall-clock; the rows must not
+move.  Three contracts are pinned here:
+
+* **Shard count is invisible** — shardable figures produce byte-identical
+  rows under any shard count and either backend (serial's windowed pass
+  loop and thread's barrier rounds schedule differently but must commit
+  the same event order).
+* **Forcing is sound** — non-shardable legacy figures silently run
+  single-heap under any requested policy, so a registry-wide sweep at
+  ``--shards 4`` equals the single-heap sweep for *every* figure.
+* **Fork==fresh survives sharding** — a rewound sharded world (per-shard
+  clocks, channel sequence counters) measures identically to a freshly
+  built one, exactly like the single-heap contract in
+  test_world_checkpoint.py.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.figures import full_registry
+from repro.bench.orchestrator import run_figures
+from repro.core.stdworld import SETUP_CACHE
+from repro.sim import shard as _shard
+
+CHAIN_FIGS = ["figchain", "figchain_mcast"]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_policy_and_cache():
+    SETUP_CACHE.enabled = False
+    SETUP_CACHE.clear()
+    saved = _shard.get_policy()
+    yield
+    _shard.set_policy(*saved)
+    SETUP_CACHE.enabled = False
+    SETUP_CACHE.clear()
+
+
+def _rows(names, **kw):
+    runs = run_figures(names, smoke=True, jobs=1, store=None, **kw)
+    return {r.spec.name: json.dumps([p.row for p in r.points],
+                                    sort_keys=True)
+            for r in runs}
+
+
+def _chain_rows(shards, backend="serial"):
+    """Full fast sweep (k up to 4 -> 5-node worlds) so requested shard
+    counts below, at, and above the node count all actually occur."""
+    runs = run_figures(CHAIN_FIGS, fast=True, smoke=False, jobs=1,
+                      store=None, shards=shards, shard_backend=backend)
+    return {r.spec.name: json.dumps([p.row for p in r.points],
+                                    sort_keys=True)
+            for r in runs}
+
+
+def test_chain_rows_identical_across_shard_counts():
+    base = _chain_rows(shards=1)
+    assert _chain_rows(shards=2) == base
+    assert _chain_rows(shards=5) == base          # one node per shard
+    assert _chain_rows(shards=64) == base         # capped at node count
+
+
+def test_chain_rows_identical_under_thread_backend():
+    base = _chain_rows(shards=1)
+    assert _chain_rows(shards=3, backend="thread") == base
+
+
+def test_full_registry_smoke_identical_under_shard_policy():
+    # Non-shardable specs force --shards 1 (FigureSpec.shardable); the
+    # chain specs actually shard.  Either way, rows must not move.
+    base = _rows(None, shards=1)
+    sharded = _rows(None, shards=4, shard_backend="serial")
+    assert sorted(sharded) == sorted(base)
+    assert sharded == base
+
+
+def _point_row(spec, params):
+    SETUP_CACHE.begin_point()
+    return json.dumps(spec.point(**params), sort_keys=True)
+
+
+@pytest.mark.parametrize("name", CHAIN_FIGS)
+def test_forked_sharded_world_rows_match_fresh(name):
+    spec = full_registry()[name]
+    params = spec.points(True)[1]  # k=2 -> 3-node world, 3 shards
+    with _shard.scoped_policy(3, "serial"):
+        fresh = _point_row(spec, params)
+        SETUP_CACHE.enabled = True
+        SETUP_CACHE.clear()
+        first = _point_row(spec, params)   # builds + checkpoints
+        forked = _point_row(spec, params)  # rewinds the same instances
+        hits, misses = SETUP_CACHE.counts()
+    assert first == fresh
+    assert forked == fresh
+    assert hits == misses  # second run forked every world
