@@ -188,12 +188,16 @@ def _messages(fast: bool) -> int:
 
 
 def board_counters(*worlds: World) -> dict[str, int]:
-    """Sum every node's Scoreboard counters across the point's worlds."""
+    """Sum every node's Scoreboard counters across the point's worlds.
+
+    Goes through ``World.board_counters`` (not the node objects) so that
+    worlds whose shards run in worker processes report the live boards
+    over the world-RPC surface instead of stale fork-time mirrors.
+    """
     out: dict[str, int] = {}
     for w in worlds:
-        for node in w.bed.nodes:
-            for name, value in node.board.counters.items():
-                out[name] = out.get(name, 0) + int(value)
+        for name, value in w.board_counters().items():
+            out[name] = out.get(name, 0) + int(value)
     return out
 
 

@@ -196,7 +196,7 @@ def _exec_point(task: tuple[str, dict, bool, bool]
 
 
 def _exec_group(task: tuple[list[tuple[str, dict, bool, bool]],
-                            bool, bool, bool, int | str, str]
+                            bool, bool, bool, int | str, str, int]
                 ) -> list[tuple[dict, float, dict, dict | None, dict | None,
                                 int, int]]:
     """Pool worker: run one setup-key group of sweep points, in order.
@@ -208,16 +208,20 @@ def _exec_group(task: tuple[list[tuple[str, dict, bool, bool]],
     workers may process several groups and must not leak worlds between
     them.  ``fuse`` and ``trace_jit`` carry the VM compilation-tier
     switches into pool workers (process-global state does not travel
-    with the task otherwise).
+    with the task otherwise); ``active_jobs`` carries the pool width so
+    ``--shards auto`` (and explicit process-backend shard counts) can
+    cap worker-process × pool-job oversubscription.
     """
-    group, fork, fuse, trace_jit, shards, shard_backend = task
+    group, fork, fuse, trace_jit, shards, shard_backend, active_jobs = task
     from ..isa import vm as _vm
     prev_fuse = _vm.fusion_enabled()
     prev_trace = _vm.trace_jit_enabled()
     prev_shards = _shard.get_policy()
+    prev_jobs = _shard.get_active_jobs()
     _vm.set_fusion(fuse)
     _vm.set_trace_jit(trace_jit)
     _shard.set_policy(shards, shard_backend)
+    _shard.set_active_jobs(active_jobs)
     if fork:
         SETUP_CACHE.enabled = True
         SETUP_CACHE.clear()
@@ -229,6 +233,7 @@ def _exec_group(task: tuple[list[tuple[str, dict, bool, bool]],
         _vm.set_fusion(prev_fuse)
         _vm.set_trace_jit(prev_trace)
         _shard.set_policy(*prev_shards)
+        _shard.set_active_jobs(prev_jobs)
 
 
 def resolve_jobs(jobs: int | str) -> int:
@@ -347,10 +352,16 @@ def run_figures(names: list[str] | None = None, *, fast: bool = True,
             + ("" if fork else ", fork disabled"))
 
     if group_tasks:
-        payload = [(g, fork, fuse, trace_jit, shards, shard_backend)
+        # The effective pool width rides with every task: shard policy
+        # resolution divides the CPU budget by it, so a wide pool with
+        # --shards auto does not fork cpus-per-job × jobs workers.
+        pool_jobs = (min(jobs, len(group_tasks))
+                     if jobs > 1 and len(group_tasks) > 1 else 1)
+        payload = [(g, fork, fuse, trace_jit, shards, shard_backend,
+                    pool_jobs)
                    for g in group_tasks]
-        if jobs > 1 and len(group_tasks) > 1:
-            with multiprocessing.Pool(min(jobs, len(group_tasks))) as pool:
+        if pool_jobs > 1:
+            with multiprocessing.Pool(pool_jobs) as pool:
                 group_outs = pool.map(_exec_group, payload, chunksize=1)
         else:
             group_outs = [_exec_group(t) for t in payload]
@@ -434,7 +445,9 @@ def build_meta(*, fast: bool, smoke: bool, jobs: int,
         "shards": {
             "requested": shards,
             "backend": shard_backend,
-            "cpus": os.cpu_count() or 1,
+            # Container-aware: the scheduler affinity mask when the OS
+            # exposes one, not the bare host core count.
+            "cpus": _shard.available_cpus(),
         },
     }
 

@@ -131,6 +131,9 @@ def profile_figures(names: list[str] | None = None, *, fast: bool = True,
             "runs": _shard.RUN_STATS.runs,
             "per_shard": [
                 {"shard": s,
+                 # Which OS process executed the shard: the driver pid
+                 # for serial/thread, the forked worker for process.
+                 "pid": int(d["pid"]),
                  "events": int(d["events"]),
                  "busy_wall_s": round(d["busy_wall_ns"] / 1e9, 4),
                  "stall_wall_s": round(d["stall_wall_ns"] / 1e9, 4),
@@ -246,7 +249,8 @@ def render_profile_text(report: dict) -> str:
         ]
         for d in sh["per_shard"]:
             lines.append(
-                f"  shard {d['shard']}: busy {d['busy_wall_s']:.3f}s / "
+                f"  shard {d['shard']} (pid {d['pid']}): "
+                f"busy {d['busy_wall_s']:.3f}s / "
                 f"stall {d['stall_wall_s']:.3f}s ({d['busy_pct']:.1f}% "
                 f"busy), {d['events']:,} events, "
                 f"{d['null_msgs']:,} null msgs")

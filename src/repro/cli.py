@@ -463,14 +463,16 @@ def make_parser() -> argparse.ArgumentParser:
                         "either way)")
     b.add_argument("--shards", default="1",
                    help="DES shards per world: an integer or 'auto' for "
-                        "one per CPU, capped at the world's node count "
-                        "(default 1 = single heap; rows are identical "
-                        "either way)")
+                        "one per available CPU divided by --jobs, capped "
+                        "at the world's node count (default 1 = single "
+                        "heap; rows are identical either way)")
     b.add_argument("--shard-backend", default="serial",
-                   choices=("serial", "thread"),
+                   choices=("serial", "thread", "process"),
                    help="sharded-run scheduler: 'serial' interleaves "
                         "shards on one thread, 'thread' runs one thread "
-                        "per shard (default serial)")
+                        "per shard, 'process' forks one worker process "
+                        "per non-zero shard for multi-core wall-clock "
+                        "(default serial)")
     b.add_argument("--quiet", action="store_true",
                    help="suppress progress and text tables")
     b.set_defaults(fn=_cmd_bench_run)
@@ -536,8 +538,9 @@ def make_parser() -> argparse.ArgumentParser:
                         "(integer or 'auto'); adds a per-shard busy vs "
                         "sync-stall utilization block")
     p.add_argument("--shard-backend", default="serial",
-                   choices=("serial", "thread"),
-                   help="sharded-run scheduler (default serial)")
+                   choices=("serial", "thread", "process"),
+                   help="sharded-run scheduler (default serial); "
+                        "'process' rows are labeled by worker pid")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the report as JSON")
     p.set_defaults(fn=_cmd_profile)

@@ -97,6 +97,26 @@ class World:
         code = len(self.build.jam(jam_name).blob) if inject else 0
         return frame_wire_size(code, payload_bytes)
 
+    # -- shard-routable driver reads ---------------------------------------
+    # Drivers use these instead of poking node internals so the same code
+    # works when a node's state lives in a shard worker process: the
+    # WorldProxy overrides them with RPC-routed versions, this class is
+    # the direct single-process path.
+
+    def read_u64(self, node_id: int, addr: int) -> int:
+        return self.bed.nodes[node_id].mem.read_u64(addr)
+
+    def read_mem(self, node_id: int, addr: int, size: int) -> bytes:
+        return self.bed.nodes[node_id].mem.read(addr, size)
+
+    def board_counters(self) -> dict[str, int]:
+        """Every node's Scoreboard counters, summed in node-id order."""
+        out: dict[str, int] = {}
+        for node in self.bed.nodes:
+            for name, value in node.board.counters.items():
+                out[name] = out.get(name, 0) + int(value)
+        return out
+
     # -- checkpoint / fork -------------------------------------------------
 
     def snapshot(self) -> WorldCheckpoint:
@@ -188,7 +208,13 @@ def make_world(hier_cfg: HierarchyConfig | None = None,
         pkg_build = builder()
     for rt in runtimes:
         rt.load_package(pkg_build)
-    return World(bed=bed, runtimes=runtimes, build=pkg_build)
+    world = World(bed=bed, runtimes=runtimes, build=pkg_build)
+    if getattr(bed.engine, "backend", None) == "process":
+        # Process-backed shards: drivers hold a WorldProxy whose agent is
+        # registered now, pre-fork, so every later worker inherits it.
+        from .worldproxy import wrap_world
+        return wrap_world(world)
+    return world
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,255 @@
+"""The world-RPC surface for process-backed DES shards.
+
+Under ``--shard-backend process`` (sim/procshard.py) every non-zero
+shard's state — node memories, scoreboards, RNG streams, runtime/HCA/QP
+bookkeeping — lives in a forked worker process; the bench drivers,
+which execute in the coordinating interpreter and read/poke world state
+*between* runs, would otherwise observe stale fork-time mirrors.  This
+module closes that gap with two pieces:
+
+* :class:`ShardStateAgent` — a per-world endpoint registered (pre-fork)
+  with the sharded engine, so one agent instance exists in **every**
+  process after the fork, each bound to that process's copy of the
+  world.  It serves the narrow driver API (scoreboard counters, memory
+  reads) and keeps **worker-resident snapshots**: ``snap_shard`` caches
+  a shard's full mutable state inside the owning process under a token,
+  and ``restore_shard`` rewinds from that cache — the state never
+  crosses the process boundary.
+
+* :class:`WorldProxy` — a transparent wrapper returned by
+  ``make_world`` for process-backed worlds.  Attribute access passes
+  straight through to the wrapped :class:`~repro.core.stdworld.World`
+  (zero new indirection for serial/thread worlds, which are never
+  wrapped); only the few members that must route by shard are
+  overridden: ``board_counters``/``read_u64`` fan out over the engine's
+  ``rpc`` surface, and ``snapshot``/``restore`` pick between the plain
+  coordinator-side checkpoint (no live workers: the setup-cache path,
+  whose snapshots are taken pre-fork) and a :class:`ProcWorldCheckpoint`
+  of worker-resident per-shard snaps (live workers: mid-point forks).
+
+A plain-checkpoint restore retires the workers (their post-fork
+timeline is being discarded), after which the world is ordinary
+coordinator-resident state again; the next run forks fresh workers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..errors import SimulationError
+from ..rdma.fabric import shard_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .stdworld import World, WorldCheckpoint
+
+#: RNG streams are owned by the shard of the node they belong to;
+#: every per-node stream in the tree encodes its node as ``…n<id>``
+#: (machine/noise.py: ``stress.n{node_id}``).  Unmatched streams are
+#: coordinator-owned.
+_RNG_NODE = re.compile(r"\.n(\d+)$")
+
+AGENT_KEY = "world.agent"
+
+
+@dataclass
+class ProcWorldCheckpoint:
+    """Token naming per-shard snaps resident in the worker processes
+    (plus the coordinator's shard-0 snap).  Only meaningful while the
+    workers that recorded it are alive."""
+
+    token: int
+    nshards: int
+
+
+class ShardStateAgent:
+    """Per-process world-state endpoint (one forked copy per shard)."""
+
+    def __init__(self, world: "World"):
+        self._world = world
+        self._snaps: dict[tuple[int, int], dict] = {}
+
+    # -- helpers ----------------------------------------------------------
+
+    def _nodes_of(self, shard: int) -> list[int]:
+        bed = self._world.bed
+        n = bed.topology.nodes
+        k = bed.engine.nshards
+        return [i for i in range(n) if shard_of(i, n, k) == shard]
+
+    def _rng_owner(self, name: str, nodes: int, nshards: int) -> int:
+        m = _RNG_NODE.search(name)
+        if m is None:
+            return 0
+        return shard_of(int(m.group(1)), nodes, nshards)
+
+    # -- driver reads -----------------------------------------------------
+
+    def counters(self, shard: int) -> dict[int, dict[str, int]]:
+        """Scoreboard counters of every node on ``shard``, by node id."""
+        bed = self._world.bed
+        return {i: {name: int(v)
+                    for name, v in bed.nodes[i].board.counters.items()}
+                for i in self._nodes_of(shard)}
+
+    def read_u64(self, node_id: int, addr: int) -> int:
+        return self._world.bed.nodes[node_id].mem.read_u64(addr)
+
+    def read_mem(self, node_id: int, addr: int, size: int) -> bytes:
+        return self._world.bed.nodes[node_id].mem.read(addr, size)
+
+    # -- worker-resident snapshots ----------------------------------------
+
+    def snap_shard(self, shard: int, token: int) -> None:
+        """Capture this process's shard state under ``token`` (kept
+        in-process; repeated restores from one token are allowed)."""
+        w = self._world
+        bed = w.bed
+        coord = bed.engine
+        nodes = self._nodes_of(shard)
+        nodeset = set(nodes)
+        n, k = bed.topology.nodes, coord.nshards
+        rngs = {name: state for name, state in bed.rngs.snapshot().items()
+                if self._rng_owner(name, n, k) == shard}
+        self._snaps[(shard, token)] = {
+            "engine": coord.shards[shard].snapshot(),
+            "chan_seq": {key: seq for key, seq in coord._chan_seq.items()
+                         if key[0] == shard},
+            "nodes": {i: bed.nodes[i].snapshot() for i in nodes},
+            "hcas": {i: bed.hcas[i].snapshot() for i in nodes},
+            # A queue pair schedules on (and is mutated by) its source
+            # node's shard.
+            "qps": {pair: qp.snapshot() for pair, qp in bed.qps.items()
+                    if pair[0] in nodeset},
+            "runtimes": {i: w.runtimes[i].snapshot() for i in nodes},
+            "rngs": rngs,
+        }
+
+    def restore_shard(self, shard: int, token: int) -> float:
+        try:
+            snap = self._snaps[(shard, token)]
+        except KeyError:
+            raise SimulationError(
+                f"shard {shard} has no resident snapshot for token "
+                f"{token}; worker-resident checkpoints die with their "
+                f"workers") from None
+        w = self._world
+        bed = w.bed
+        coord = bed.engine
+        n, k = bed.topology.nodes, coord.nshards
+        coord.shards[shard].restore(snap["engine"])
+        coord._chan_seq.update(snap["chan_seq"])
+        for i, s in snap["nodes"].items():
+            bed.nodes[i].restore(s)
+        for i, s in snap["hcas"].items():
+            bed.hcas[i].restore(s)
+        for pair, s in snap["qps"].items():
+            bed.qps[pair].restore(s)
+        for i, s in snap["runtimes"].items():
+            w.runtimes[i].restore(s)
+        issued = bed.rngs._issued
+        for name in [nm for nm in issued
+                     if self._rng_owner(nm, n, k) == shard
+                     and nm not in snap["rngs"]]:
+            del issued[name]
+        for name, state in snap["rngs"].items():
+            import copy as _copy
+            bed.rngs.child(name).bit_generator.state = _copy.deepcopy(state)
+        # The restored clock travels back so the coordinator can rewind
+        # its mirror of this shard's engine (the worker's own copy just
+        # rewound in-process).
+        return coord.shards[shard].now
+
+
+class WorldProxy:
+    """Driver-facing wrapper over a process-backed :class:`World`.
+
+    Everything not listed below forwards to the wrapped world — the
+    coordinator owns the build, the topology, shard 0 (the client
+    node), and all engine control (``run`` goes through the sharded
+    engine's own round protocol, not through here).
+    """
+
+    __test__ = False  # not a pytest class
+
+    def __init__(self, world: "World", agent: ShardStateAgent):
+        self._world = world
+        self._agent = agent
+        self._snap_tok = 0
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._world, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WorldProxy({self._world!r})"
+
+    # -- routed driver reads ----------------------------------------------
+
+    def _engine(self):
+        return self._world.bed.engine
+
+    def _shard_of_node(self, node_id: int) -> int:
+        bed = self._world.bed
+        return shard_of(node_id, bed.topology.nodes, bed.engine.nshards)
+
+    def read_u64(self, node_id: int, addr: int) -> int:
+        eng = self._engine()
+        shard = self._shard_of_node(node_id)
+        return eng.rpc(shard, AGENT_KEY, "read_u64", (node_id, addr))
+
+    def read_mem(self, node_id: int, addr: int, size: int) -> bytes:
+        eng = self._engine()
+        shard = self._shard_of_node(node_id)
+        return eng.rpc(shard, AGENT_KEY, "read_mem", (node_id, addr, size))
+
+    def board_counters(self) -> dict[str, int]:
+        eng = self._engine()
+        out: dict[str, int] = {}
+        for shard in range(eng.nshards):
+            per_node = eng.rpc(shard, AGENT_KEY, "counters", (shard,))
+            for node_id in sorted(per_node):
+                for name, value in per_node[node_id].items():
+                    out[name] = out.get(name, 0) + value
+        return out
+
+    # -- checkpoint / fork -------------------------------------------------
+
+    def snapshot(self):
+        eng = self._engine()
+        if not eng._workers:
+            # Pre-fork (the setup-cache path: worlds are checkpointed
+            # right after construction, before any run): every shard is
+            # coordinator-resident and the plain capture is exact.
+            return self._world.snapshot()
+        self._snap_tok += 1
+        tok = self._snap_tok
+        for shard in range(eng.nshards):
+            eng.rpc(shard, AGENT_KEY, "snap_shard", (shard, tok))
+        return ProcWorldCheckpoint(token=tok, nshards=eng.nshards)
+
+    def restore(self, cp) -> None:
+        eng = self._engine()
+        if isinstance(cp, ProcWorldCheckpoint):
+            if not eng._workers:
+                raise SimulationError(
+                    "worker-resident world checkpoint outlived its shard "
+                    "workers (they retire at plain-checkpoint restores); "
+                    "snapshot again after the next run forks fresh ones")
+            for shard in range(cp.nshards):
+                now = eng.rpc(shard, AGENT_KEY, "restore_shard",
+                              (shard, cp.token))
+                eng.shards[shard].now = now
+            return
+        # Plain checkpoint: World.restore rewinds coordinator-resident
+        # state; the engine restore inside it retires live workers and
+        # drops their stale mirrors (ProcShardedEngine.restore).
+        self._world.restore(cp)
+
+
+def wrap_world(world: "World") -> WorldProxy:
+    """Attach a :class:`ShardStateAgent` (pre-fork, so every worker
+    inherits it) and hand back the proxy the drivers will hold."""
+    agent = ShardStateAgent(world)
+    world.bed.engine.register_endpoint(AGENT_KEY, agent)
+    return WorldProxy(world, agent)

@@ -154,7 +154,7 @@ class Fabric:
         requested, backend = _shard.get_policy()
         nshards = _shard.resolve_shards(requested, topology.nodes)
         if nshards > 1:
-            coord = _shard.ShardedEngine(nshards, backend=backend)
+            coord = _shard.make_coordinator(nshards, backend=backend)
             engine = coord
             engines = [coord.view(shard_of(i, topology.nodes, nshards))
                        for i in range(topology.nodes)]
@@ -182,6 +182,11 @@ class Fabric:
                 lb = topology.link_for(j, i)
                 qps[(i, j)] = QueuePair(engines[i], hcas[i], hcas[j], link=lo)
                 qps[(j, i)] = QueuePair(engines[j], hcas[j], hcas[i], link=lb)
+                # Name every QP as an engine endpoint: the process shard
+                # backend wire-encodes cross-shard callables as (endpoint
+                # key, method), and registration must precede its fork.
+                coord.register_endpoint(f"qp:{i}:{j}", qps[(i, j)])
+                coord.register_endpoint(f"qp:{j}:{i}", qps[(j, i)])
                 si, sj = engines[i].shard, engines[j].shard
                 if si != sj:
                     coord.register_link(si, sj, envelope_lookahead_ns(lo))

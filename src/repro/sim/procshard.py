@@ -1,0 +1,762 @@
+"""Process shard backend: one forked worker process per DES shard.
+
+``serial``/``thread`` (sim/shard.py) validate the conservative CMB
+protocol but stay behind the GIL; this backend cashes in the multi-core
+win.  Shard 0 stays in the coordinating interpreter (it holds the
+client/driver node), every other shard's ``Engine`` heap runs in a
+worker forked from the fully wired world, and each conservative sync
+window becomes one message round over an OS channel.
+
+**Channels** (:class:`_Channel`).  Each worker gets a duplex channel
+built pre-fork from two pipes plus two anonymous shared-memory scratch
+buffers (one per direction).  A message is pickled once; the pipe
+carries a fixed 9-byte header ``<flag:u8, length:u64>`` and the payload
+rides the shm scratch when it fits (flag=1) or inline on the pipe when
+it does not (flag=0).  The protocol is strict request/response
+alternation per channel, so a single scratch per direction needs no
+further synchronization: the blocking header read on the pipe orders
+the reader after the writer's scratch fill.
+
+**Round protocol** (one exchange per window).  ``run`` broadcasts the
+run parameters; workers answer with their initial horizons.  Each round
+the coordinator sends every worker ``("step", gate, batch)`` — its CMB
+gate plus the envelope batch addressed to it from the previous round —
+then drains shard 0 in parallel and collects ``("res", executed,
+outbound, horizon, now)`` replies.  Envelopes are routed star-wise
+through the coordinator; horizons are corrected coordinator-side with
+the minimum timestamp still in flight (``pending``), which is exactly
+the post-absorb horizon the in-process backends compute, so the CMB
+safety argument is unchanged.  ``("fin", end, leftovers)`` closes a run:
+the worker parks not-yet-due envelopes (``t > until``) in its heap,
+syncs its clock, and ships back its run stats, perf-counter deltas,
+touched metric instruments, and trace-event segment for the coordinator
+to merge (rows, ``meta.metrics``, ``twochains profile --shards``, and
+Perfetto export all stay byte-identical to the single-heap run).
+
+**Envelope encoding**.  Cross-shard callables are bound methods of
+*registered endpoints* (``ShardedEngine.register_endpoint`` — the
+fabric registers every queue pair pre-fork), wire-encoded as
+``(endpoint_key, method_name)``; since workers are forks of the wired
+world, ``id(obj)`` is stable across all processes and the pre-fork
+registry resolves in every worker.  Arguments pass scalars/bytes raw,
+engine views as shard tags, and anything else as an opaque one-shot
+token that only its owning process may open (:class:`_Handle`) — in
+practice the ``Completion`` riding a put/get round trip, which foreign
+shards pass through untouched.  Response envelopes keep their expect
+token and are rebuilt dst-side with :func:`~repro.sim.shard.
+make_resolved`, preserving the exact channel sequence numbers — and
+therefore the exact heap order — of the in-process backends.
+
+**Lifecycle**.  Workers fork lazily at the first ``run()`` after the
+(coordinator-side) world wiring and persist across runs within a sweep
+point; a plain checkpoint restore retires them (their heaps die with
+them; the coordinator clears its stale mirrors) and the next point's
+first run forks fresh ones.  Driver code touching a foreign shard while
+workers are live is a hard error (:class:`ProcEngineView`): that state
+lives in another process, and the supported paths are the
+``core/worldproxy.py`` RPC surface or a snapshot/restore boundary.
+"""
+
+from __future__ import annotations
+
+import heapq
+import mmap
+import os
+import pickle
+import signal
+import struct
+import sys
+import time
+import traceback
+import weakref
+from typing import Any, Callable
+
+from ..errors import SimulationError
+from ..obs.metrics import METRICS as _M
+from ..obs.tracer import TRACER as _T
+from ..perf import COUNTERS as _C, _FIELDS as _C_FIELDS
+from .shard import _INF, EngineView, ShardedEngine, make_resolved
+
+#: Pipe framing: flag (1 = payload in shm scratch, 0 = inline) + length.
+_HDR = struct.Struct("<BQ")
+
+#: Per-direction shared-memory scratch; messages larger than this fall
+#: back to the pipe (rare: envelope batches are small, bulk put payloads
+#: occasionally are not).
+_SCRATCH_BYTES = 1 << 20
+
+
+class _PeerGone(Exception):
+    """The other end of a channel closed (worker death / coordinator exit)."""
+
+
+class _Channel:
+    """One end of a duplex pickle-message channel (pipes + shm scratch)."""
+
+    __slots__ = ("_rfd", "_wfd", "_shm_in", "_shm_out", "_closed")
+
+    def __init__(self, rfd: int, wfd: int, shm_in: mmap.mmap,
+                 shm_out: mmap.mmap):
+        self._rfd = rfd
+        self._wfd = wfd
+        self._shm_in = shm_in
+        self._shm_out = shm_out
+        self._closed = False
+
+    @classmethod
+    def pair(cls) -> tuple["_Channel", "_Channel"]:
+        """(parent_end, child_end), to be split across a fork."""
+        p2c_r, p2c_w = os.pipe()
+        c2p_r, c2p_w = os.pipe()
+        shm_p2c = mmap.mmap(-1, _SCRATCH_BYTES)
+        shm_c2p = mmap.mmap(-1, _SCRATCH_BYTES)
+        parent = cls(c2p_r, p2c_w, shm_c2p, shm_p2c)
+        child = cls(p2c_r, c2p_w, shm_p2c, shm_c2p)
+        return parent, child
+
+    def send(self, msg: Any) -> None:
+        payload = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+        n = len(payload)
+        if n <= _SCRATCH_BYTES:
+            self._shm_out[:n] = payload
+            os.write(self._wfd, _HDR.pack(1, n))
+            return
+        os.write(self._wfd, _HDR.pack(0, n))
+        view = memoryview(payload)
+        while view:
+            written = os.write(self._wfd, view)
+            view = view[written:]
+
+    def _read_exact(self, n: int) -> bytes:
+        chunks = []
+        while n:
+            chunk = os.read(self._rfd, n)
+            if not chunk:
+                raise _PeerGone("channel EOF")
+            chunks.append(chunk)
+            n -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self) -> Any:
+        flag, n = _HDR.unpack(self._read_exact(_HDR.size))
+        if flag:
+            return pickle.loads(self._shm_in[:n])
+        return pickle.loads(self._read_exact(n))
+
+    def close_fds(self) -> None:
+        """Discard this end post-fork (the *other* process keeps it):
+        close only the pipe fds.  The mmap objects are the same Python
+        objects as the kept end's — unmapping here would tear the
+        mapping out from under the sibling channel in this process."""
+        if self._closed:
+            return
+        self._closed = True
+        for fd in (self._rfd, self._wfd):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        shm_in, shm_out = self._shm_in, self._shm_out
+        self.close_fds()
+        for shm in (shm_in, shm_out):
+            try:
+                shm.close()
+            except (BufferError, ValueError):
+                pass
+
+
+# ---------------------------------------------------------------------------
+# envelope wire format
+# ---------------------------------------------------------------------------
+
+class _View:
+    """Wire form of an :class:`EngineView` argument: just the shard tag."""
+
+    __slots__ = ("shard",)
+
+    def __init__(self, shard: int):
+        self.shard = shard
+
+    def __getstate__(self):
+        return self.shard
+
+    def __setstate__(self, state):
+        self.shard = state
+
+
+class _Handle:
+    """Opaque token for a live object parked in its owner process.
+
+    Foreign shards pass it through verbatim (the put/get ``Completion``
+    crosses and comes straight back); only the owner may open it, and
+    opening pops it — every handle is a one-shot round trip.
+    """
+
+    __slots__ = ("owner", "tok")
+
+    def __init__(self, owner: int, tok: int):
+        self.owner = owner
+        self.tok = tok
+
+    def __getstate__(self):
+        return (self.owner, self.tok)
+
+    def __setstate__(self, state):
+        self.owner, self.tok = state
+
+
+class _Tup:
+    """Wire form of a nested tuple argument (kept distinct from the
+    entry framing, which also uses tuples)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: tuple):
+        self.items = items
+
+    def __getstate__(self):
+        return self.items
+
+    def __setstate__(self, state):
+        self.items = state
+
+
+#: Exact types that cross the wire as themselves.
+_PLAIN = (int, float, bool, str, bytes, type(None))
+
+
+def _resolve_mark(*_args: Any) -> None:  # pragma: no cover - sentinel
+    raise SimulationError(
+        "resolve-envelope sentinel executed in-process; process-backend "
+        "envelopes must be encoded before delivery")
+
+
+# ---------------------------------------------------------------------------
+# metrics merge support (see docs/METRICS.md, "Per-worker registries")
+# ---------------------------------------------------------------------------
+
+def _metric_fingerprints() -> dict[tuple[str, str], tuple]:
+    """Cheap per-instrument change detectors.  Every emission mutates at
+    least one captured scalar (counts are monotone, sample lists only
+    grow), so comparing fingerprints finds exactly the instruments a
+    worker touched since its fork."""
+    out: dict[tuple[str, str], tuple] = {}
+    for name, c in _M.counters.items():
+        out[("counters", name)] = (c.value, len(c.samples))
+    for name, g in _M.gauges.items():
+        out[("gauges", name)] = (g.value, g.t_last, g.integral,
+                                 len(g.samples))
+    for name, h in _M.hists.items():
+        out[("hists", name)] = (h.count, h.sum)
+    return out
+
+
+def _touched_since(base: dict[tuple[str, str], tuple]) -> set:
+    cur = _metric_fingerprints()
+    return {key for key, fp in cur.items() if base.get(key) != fp}
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+
+def _worker_main(coord: "ProcShardedEngine", shard: int,
+                 ch: _Channel) -> None:
+    """Entry point of a forked shard worker; never returns (``os._exit``)."""
+    try:
+        coord._become_worker(shard)
+        m_base = _metric_fingerprints()
+        c_base = _C.snapshot()
+        while True:
+            msg = ch.recv()
+            tag = msg[0]
+            if tag == "run":
+                _worker_run(coord, shard, ch, msg, m_base, c_base)
+                c_base = _C.snapshot()
+            elif tag == "rpc":
+                _, key, method, args = msg
+                try:
+                    obj = coord._endpoints[key]
+                    ch.send(("ok", getattr(obj, method)(*args)))
+                except BaseException as exc:
+                    ch.send(("err", type(exc).__name__, str(exc),
+                             traceback.format_exc()))
+            elif tag == "exit":
+                break
+    except (_PeerGone, KeyboardInterrupt):
+        pass
+    except BaseException:
+        # Never let a worker traceback hit the inherited stderr mid-run;
+        # the coordinator surfaces failures through the channel.
+        os._exit(1)
+    os._exit(0)
+
+
+def _worker_run(coord: "ProcShardedEngine", shard: int, ch: _Channel,
+                run_msg: tuple, m_base: dict, c_base: dict) -> None:
+    """One ``run()``'s worth of step rounds, worker side."""
+    _, until, budget, mgen, m_on, t_on = run_msg
+    _M.enabled = m_on
+    if _M.gen != mgen:
+        # The coordinator cleared the registry after we forked: our copy
+        # is a different generation and must not merge back.
+        _M.clear()
+        _M.gen = mgen
+        m_base.clear()
+    _T.enabled = t_on
+    t_base = len(_T.events)
+    eng = coord.shards[shard]
+    coord._events[shard] = 0
+    busy = stall = 0.0
+    nulls = 0
+    perf = time.perf_counter
+    ch.send(("ready", coord._horizon(shard)))
+    while True:
+        msg = ch.recv()
+        tag = msg[0]
+        if tag == "exit":
+            os._exit(0)
+        if tag == "fin":
+            _, end, leftovers = msg
+            try:
+                coord._absorb_batch(shard, leftovers)
+                eng.now = end
+                stats = (coord._events[shard], busy, stall, nulls)
+                cdelta = {f: v - c_base.get(f, 0)
+                          for f, v in _C.snapshot().items()}
+                mdump = _M.dump(keys=_touched_since(m_base))
+                tev = _T.events[t_base:] if t_on else []
+                ch.send(("fini", stats, cdelta, mdump, tev))
+            except BaseException as exc:
+                ch.send(("err", type(exc).__name__, str(exc),
+                         traceback.format_exc()))
+            return
+        # ("step", gate, batch)
+        _, gate, batch = msg
+        try:
+            coord._absorb_batch(shard, batch)
+            t0 = perf()
+            ex = coord._drain(shard, gate, until, budget)
+            dt = (perf() - t0) * 1e9
+            if ex:
+                busy += dt
+            elif coord._horizon(shard) != _INF:
+                nulls += 1
+                stall += dt
+            ch.send(("res", ex, coord._collect_outbound(shard),
+                     coord._horizon(shard), eng.now))
+        except BaseException as exc:
+            ch.send(("err", type(exc).__name__, str(exc),
+                     traceback.format_exc()))
+            return
+
+
+def _reap_workers(chans: dict[int, _Channel], pids: dict[int, int]) -> None:
+    """Retire worker processes: polite exit, then SIGKILL stragglers."""
+    for ch in chans.values():
+        try:
+            ch.send(("exit",))
+        except OSError:
+            pass
+    for ch in chans.values():
+        ch.close()
+    for pid in pids.values():
+        reaped = False
+        for _ in range(400):  # ~2 s grace
+            try:
+                done, _status = os.waitpid(pid, os.WNOHANG)
+            except ChildProcessError:
+                reaped = True
+                break
+            if done:
+                reaped = True
+                break
+            time.sleep(0.005)
+        if not reaped:
+            try:
+                os.kill(pid, signal.SIGKILL)
+                os.waitpid(pid, 0)
+            except (OSError, ChildProcessError):
+                pass
+
+
+# ---------------------------------------------------------------------------
+# the facade and the coordinator
+# ---------------------------------------------------------------------------
+
+class ProcEngineView(EngineView):
+    """Shard facade that guards driver-side scheduling onto live workers.
+
+    Inside runs (and in workers) this is exactly :class:`EngineView`;
+    the extra check only fires in driver context (no shard executing)
+    while worker processes hold the target shard's heap — a schedule
+    landing on the coordinator's stale mirror would be silently lost.
+    """
+
+    __slots__ = ()
+
+    def call_at(self, t: float, fn: Callable, *args: Any) -> None:
+        coord = self._coord
+        if (coord._workers and self.shard != coord._home
+                and coord.current_shard is None):
+            raise SimulationError(
+                f"driver-side schedule onto shard {self.shard}, whose heap "
+                f"lives in worker pid "
+                f"{coord._worker_pids.get(self.shard, '?')} "
+                f"(--shard-backend process): direct foreign-node access is "
+                f"only valid before the first run or after a checkpoint "
+                f"restore retires the workers; between runs, go through "
+                f"the WorldProxy RPC surface (core/worldproxy.py)")
+        EngineView.call_at(self, t, fn, *args)
+
+
+class ProcShardedEngine(ShardedEngine):
+    """:class:`ShardedEngine` whose non-zero shards execute in forked
+    worker processes (see module docstring for protocol and lifecycle)."""
+
+    VIEW_CLS = ProcEngineView
+
+    def __init__(self, nshards: int, backend: str = "process"):
+        super().__init__(nshards, backend)
+        #: shard -> coordinator end of the worker's channel (empty both
+        #: before the first post-wiring run and inside the workers).
+        self._workers: dict[int, _Channel] = {}
+        self._worker_pids: dict[int, int] = {}
+        self._finalizer = None
+        #: True once a fork happened since the last restore: the
+        #: coordinator's mirrors of foreign heaps are stale.
+        self._stale = False
+        #: The shard this process executes (0 = coordinator).
+        self._home = 0
+        #: Endpoint registry for envelope encoding, built pre-fork.
+        self._endpoints: dict[str, Any] = {}
+        self._ep_by_id: dict[int, str] = {}
+        #: Parked handle-crossing objects, per process (see _Handle).
+        self._live: dict[int, Any] = {}
+        self._tok = 0
+
+    # -- wiring ----------------------------------------------------------
+
+    def register_endpoint(self, key: str, obj: Any) -> None:
+        if self._workers:
+            raise SimulationError(
+                f"endpoint {key!r} registered with live shard workers; "
+                f"endpoints must exist before the fork so every process "
+                f"shares the id registry")
+        self._endpoints[key] = obj
+        self._ep_by_id[id(obj)] = key
+
+    def shard_pid(self, shard: int) -> int:
+        return self._worker_pids.get(shard, os.getpid())
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def _become_worker(self, shard: int) -> None:
+        """Post-fork, child side: this process now owns ``shard``."""
+        self._home = shard
+        self._workers = {}
+        self._worker_pids = {}
+        self._finalizer = None
+        self._live = {}
+
+    def fork_workers(self) -> None:
+        if self._workers or self.nshards == 1:
+            return
+        sys.stdout.flush()
+        sys.stderr.flush()
+        chans: dict[int, _Channel] = {}
+        pids: dict[int, int] = {}
+        for s in range(1, self.nshards):
+            parent_ch, child_ch = _Channel.pair()
+            pid = os.fork()
+            if pid == 0:
+                parent_ch.close_fds()
+                for prior in chans.values():
+                    prior.close_fds()
+                _worker_main(self, s, child_ch)
+                os._exit(0)  # pragma: no cover - _worker_main never returns
+            child_ch.close_fds()
+            chans[s] = parent_ch
+            pids[s] = pid
+        self._workers = chans
+        self._worker_pids = pids
+        self._stale = True
+        self._finalizer = weakref.finalize(self, _reap_workers, chans, pids)
+
+    def kill_workers(self) -> None:
+        if not self._workers:
+            return
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        _reap_workers(self._workers, self._worker_pids)
+        self._workers = {}
+        self._worker_pids = {}
+
+    # -- world RPC (core/worldproxy.py) ----------------------------------
+
+    def rpc(self, shard: int, key: str, method: str,
+            args: tuple = ()) -> Any:
+        """Invoke ``endpoint.method(*args)`` in the process owning
+        ``shard``; plain-data args and result only."""
+        if shard == self._home or shard not in self._workers:
+            return getattr(self._endpoints[key], method)(*args)
+        ch = self._workers[shard]
+        ch.send(("rpc", key, method, args))
+        msg = self._expect(shard, "ok")
+        return msg[1]
+
+    # -- envelope codec ---------------------------------------------------
+
+    def send_resolve(self, src: int, dst: int, token: float, fn: Callable,
+                     args: tuple) -> None:
+        # Keep the response as (token, fn, args) behind a sentinel so the
+        # collector can wire-encode it; the closure is rebuilt dst-side.
+        self.send(src, dst, token, _resolve_mark, (token, fn, args),
+                  checked=False)
+
+    def _enc_fn(self, fn: Callable) -> tuple[str, str]:
+        owner = getattr(fn, "__self__", None)
+        key = self._ep_by_id.get(id(owner)) if owner is not None else None
+        if key is None:
+            raise SimulationError(
+                f"cross-shard callable {fn!r} is not a bound method of a "
+                f"registered endpoint; only fabric endpoints "
+                f"(ShardedEngine.register_endpoint) may ride process-backend "
+                f"envelopes")
+        return (key, fn.__name__)
+
+    def _enc_arg(self, a: Any) -> Any:
+        if type(a) in _PLAIN:
+            return a
+        if isinstance(a, EngineView):
+            return _View(a.shard)
+        if isinstance(a, _Handle):
+            return a  # foreign object passing through, untouched
+        if isinstance(a, tuple):
+            return _Tup(tuple(self._enc_arg(x) for x in a))
+        tok = self._tok = self._tok + 1
+        self._live[tok] = a
+        return _Handle(self._home, tok)
+
+    def _dec_arg(self, a: Any) -> Any:
+        t = type(a)
+        if t is _View:
+            return self.views[a.shard]
+        if t is _Handle:
+            if a.owner == self._home:
+                return self._live.pop(a.tok)
+            return a
+        if t is _Tup:
+            return tuple(self._dec_arg(x) for x in a.items)
+        return a
+
+    def _enc_entry(self, entry: tuple) -> tuple:
+        t, seq, fn, args = entry
+        if fn is _resolve_mark:
+            token, rfn, rargs = args
+            return (t, seq, token, self._enc_fn(rfn),
+                    tuple(self._enc_arg(a) for a in rargs))
+        return (t, seq, None, self._enc_fn(fn),
+                tuple(self._enc_arg(a) for a in args))
+
+    def _dec_entry(self, dst: int, entry: tuple) -> tuple:
+        t, seq, token, (key, method), eargs = entry
+        fn = getattr(self._endpoints[key], method)
+        args = tuple(self._dec_arg(a) for a in eargs)
+        if token is not None:
+            return (t, seq, make_resolved(self, dst, token, fn, args), ())
+        return (t, seq, fn, args)
+
+    def _collect_outbound(self, home: int) -> list:
+        """Encode and drain every outbound channel of ``home``:
+        ``[(dst, src, [encoded entries]), ...]``."""
+        out = []
+        for (src, dst), chan in self._channels.items():
+            if src != home or not chan:
+                continue
+            out.append((dst, src, [self._enc_entry(e) for e in chan]))
+            chan.clear()
+        return out
+
+    def _absorb_batch(self, dst: int, batch: list) -> None:
+        """Decode routed envelope batches straight into ``dst``'s heap
+        (heap order is decided by the carried (t, seq) keys, exactly as
+        the in-process ``_absorb``)."""
+        heap = self.shards[dst]._heap
+        for _src, entries in batch:
+            for e in entries:
+                heapq.heappush(heap, self._dec_entry(dst, e))
+
+    # -- the run protocol, coordinator side -------------------------------
+
+    def _expect(self, shard: int, *tags: str) -> tuple:
+        ch = self._workers[shard]
+        pid = self._worker_pids.get(shard, "?")
+        try:
+            msg = ch.recv()
+        except _PeerGone:
+            raise SimulationError(
+                f"shard {shard} worker (pid {pid}) died unexpectedly "
+                f"(channel EOF)") from None
+        if msg[0] == "err":
+            _tag, etype, emsg, tb = msg
+            raise SimulationError(
+                f"shard {shard} worker (pid {pid}) raised {etype}: {emsg}\n"
+                f"--- worker traceback (pid {pid}) ---\n{tb}")
+        if msg[0] not in tags:
+            raise SimulationError(
+                f"shard {shard} worker protocol error: got {msg[0]!r}, "
+                f"expected one of {tags}")
+        return msg
+
+    def _dispatch(self, backend: str, until: float | None,
+                  max_events: int) -> None:
+        if backend != "process":  # pragma: no cover - defensive
+            super()._dispatch(backend, until, max_events)
+            return
+        if not self._workers:
+            self.fork_workers()
+        if not self._workers:  # single shard: plain windowed pass
+            self._run_serial(until, max_events)
+            return
+        try:
+            self._run_process(until, max_events)
+        except BaseException:
+            # The round protocol is positional; an error mid-run leaves
+            # workers desynchronized, so retire them (a fresh fork at the
+            # next run is cheap, and crash propagation must never hang).
+            self.kill_workers()
+            raise
+
+    def _run_process(self, until: float | None, max_events: int) -> None:
+        n = self.nshards
+        workers = self._workers
+        budget = max_events
+        perf = time.perf_counter
+        for ch in workers.values():
+            ch.send(("run", until, budget, _M.gen, _M.enabled, _T.enabled))
+        horizons = [_INF] * n
+        self._absorb(0)
+        horizons[0] = self._horizon(0)
+        for s in workers:
+            horizons[s] = self._expect(s, "ready")[1]
+        # Star routing state: envelopes collected this round, delivered
+        # with the next round's step (pend_min keeps horizons honest).
+        pending: list[list] = [[] for _ in range(n)]
+        pend_min = [_INF] * n
+        total = 0
+
+        def route(outbound: list) -> None:
+            for dst, src, entries in outbound:
+                pending[dst].append((src, entries))
+                for e in entries:
+                    if e[0] < pend_min[dst]:
+                        pend_min[dst] = e[0]
+
+        while True:
+            floor = min(horizons)
+            if floor == _INF or (until is not None and floor > until):
+                break
+            # Dispatch worker windows first: they execute concurrently
+            # with the coordinator's own shard-0 drain below.
+            for s, ch in workers.items():
+                ch.send(("step", self._gate(s, horizons), pending[s]))
+                pending[s] = []
+                pend_min[s] = _INF
+            progress = 0
+            if horizons[0] != _INF:
+                t0 = perf()
+                ex0 = self._drain(0, self._gate(0, horizons), until, budget)
+                self._busy_wall[0] += (perf() - t0) * 1e9
+                if ex0:
+                    progress += ex0
+                    total += ex0
+                else:
+                    self._null_msgs[0] += 1
+            route(self._collect_outbound(0))
+            for s in workers:
+                msg = self._expect(s, "res")
+                _tag, ex, outbound, h, now_s = msg
+                self.shards[s].now = now_s  # clock mirror
+                route(outbound)
+                horizons[s] = h
+                if ex:
+                    progress += ex
+                    total += ex
+            # Deliver shard 0's inbound now; workers get theirs with the
+            # next step.  Horizons then account for everything in flight.
+            if pending[0]:
+                self._absorb_batch(0, pending[0])
+                pending[0] = []
+                pend_min[0] = _INF
+            horizons[0] = self._horizon(0)
+            for s in workers:
+                if pend_min[s] < horizons[s]:
+                    horizons[s] = pend_min[s]
+            if total > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; model is likely spinning")
+            if not progress and not any(pending):
+                self._raise_deadlock(horizons, until)
+        # Close the run: sync clocks, park overdue envelopes, merge the
+        # per-worker observability state back into this process.
+        end = max(e.now for e in self.shards)
+        if until is not None and until > end:
+            end = until
+        for s, ch in workers.items():
+            ch.send(("fin", end, pending[s]))
+            pending[s] = []
+        if pending[0]:
+            self._absorb_batch(0, pending[0])
+        for s in workers:
+            _tag, stats, cdelta, mdump, tev = self._expect(s, "fini")
+            ev, busy, stall, nulls = stats
+            self._events[s] = ev
+            self._busy_wall[s] = busy
+            self._stall_wall[s] = stall
+            self._null_msgs[s] = nulls
+            self.shards[s].now = end
+            for f in _C_FIELDS:
+                d = cdelta.get(f, 0)
+                if d:
+                    setattr(_C, f, getattr(_C, f) + d)
+            if mdump:
+                _M.absorb_dump(mdump)
+            if tev:
+                _T.events.extend(tev)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        if self._workers:
+            raise SimulationError(
+                "process-backend engine state lives in worker processes; "
+                "snapshot through the WorldProxy (core/worldproxy.py), "
+                "which keeps per-shard snaps resident in the workers")
+        return super().snapshot()
+
+    def restore(self, snap: tuple) -> None:
+        self.kill_workers()
+        if self._stale:
+            # Since the fork, foreign shards executed in the (now retired)
+            # workers; the coordinator's mirrors hold the dead timeline's
+            # never-executed wiring.  Drop them — the restore target state
+            # is the pre-fork checkpoint.
+            for s in range(self.nshards):
+                if s != self._home:
+                    self.shards[s]._heap.clear()
+            for exps in self._expects:
+                del exps[:]
+            for chan in self._channels.values():
+                chan.clear()
+            self._live.clear()
+            self._stale = False
+        super().restore(snap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ProcShardedEngine(shards={self.nshards}, "
+                f"workers={sorted(self._worker_pids.values())}, "
+                f"now={self.now})")

@@ -47,9 +47,10 @@ Backends: ``serial`` (default) runs the windowed protocol on one OS
 thread — deterministic, debuggable, and what the identity tests pin.
 ``thread`` runs one OS thread per shard with barrier-synchronized
 rounds; under CPython's GIL it validates the protocol rather than
-buying wall-clock, and real speedups await a process backend (the
-benchmark drivers still execute in the coordinating interpreter and
-read world state between runs, which a process split must RPC).
+buying wall-clock.  ``process`` (sim/procshard.py) runs every non-zero
+shard's heap in a forked worker process with envelope batches over
+pipe/shared-memory channels — the multi-core backend; drivers talk to
+such worlds through the RPC surface in ``core/worldproxy.py``.
 """
 
 from __future__ import annotations
@@ -75,7 +76,7 @@ _INF = float("inf")
 _ENV_BASE = -(1 << 62)
 _ENV_STRIDE = 1 << 40
 
-BACKENDS = ("serial", "thread")
+BACKENDS = ("serial", "thread", "process")
 
 
 # ---------------------------------------------------------------------------
@@ -83,6 +84,11 @@ BACKENDS = ("serial", "thread")
 # ---------------------------------------------------------------------------
 
 _POLICY: tuple[int | str, str] = (1, "serial")
+
+#: How many orchestrator pool workers are concurrently active in this
+#: process tree (``bench run --jobs``).  ``resolve_shards`` divides the
+#: CPU budget by it so shards x jobs never oversubscribes the machine.
+_ACTIVE_JOBS = 1
 
 
 def set_policy(shards: int | str, backend: str = "serial") -> None:
@@ -102,10 +108,49 @@ def get_policy() -> tuple[int | str, str]:
     return _POLICY
 
 
+def set_active_jobs(jobs: int) -> None:
+    """Record the orchestrator's concurrent pool width (>= 1)."""
+    global _ACTIVE_JOBS
+    _ACTIVE_JOBS = max(1, int(jobs))
+
+
+def get_active_jobs() -> int:
+    return _ACTIVE_JOBS
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    Container-aware: a cgroup cpuset (docker --cpuset-cpus, CI runners,
+    taskset) shrinks ``sched_getaffinity`` but not ``os.cpu_count``, so
+    prefer the affinity mask where the platform has one.
+    """
+    getaff = getattr(os, "sched_getaffinity", None)
+    if getaff is not None:
+        try:
+            return max(1, len(getaff(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
 def resolve_shards(requested: int | str, nodes: int) -> int:
-    """Effective shard count for a world of ``nodes`` nodes."""
+    """Effective shard count for a world of ``nodes`` nodes.
+
+    ``"auto"`` resolves to the CPU budget *per orchestrator job*
+    (affinity-aware CPUs divided by :func:`set_active_jobs`), so a
+    ``--jobs N --shards auto`` bench run never oversubscribes.  An
+    explicit count is honoured as-is except under the ``process``
+    backend with multiple active jobs, where it is capped to the same
+    per-job budget — worker processes multiply with pool fan-out where
+    threads (GIL) do not.  Rows are shard-count invariant either way;
+    only wall-clock moves.
+    """
+    cap = max(1, available_cpus() // _ACTIVE_JOBS)
     if requested == "auto":
-        requested = os.cpu_count() or 1
+        requested = cap
+    elif _POLICY[1] == "process" and _ACTIVE_JOBS > 1:
+        requested = min(int(requested), cap)
     return max(1, min(int(requested), nodes))
 
 
@@ -159,6 +204,10 @@ class RunStats:
             d["busy_wall_ns"] += coord._busy_wall[s]
             d["stall_wall_ns"] += coord._stall_wall[s]
             d["null_msgs"] += coord._null_msgs[s]
+            # Which OS process executed the shard: the coordinator for
+            # serial/thread backends, a forked worker for process (the
+            # profile report labels rows with it).
+            d["pid"] = coord.shard_pid(s)
 
     def snapshot(self) -> dict:
         out = {}
@@ -233,25 +282,35 @@ class EngineView:
         coord = self._coord
         cur = coord.current_shard
         shard = self.shard
-
-        def _resolved() -> None:
-            exps = coord._expects[shard]
-            if not exps or exps[0] != token:
-                raise SimulationError(
-                    f"shard {shard}: response at t={token} does not match "
-                    f"earliest expect "
-                    f"({exps[0] if exps else 'none'})")
-            heapq.heappop(exps)
-            fn(*args)
-
         if cur is None or cur == shard:
             # Same-shard response (e.g. serial fallback): clear inline.
-            self._eng.call_at(token, _resolved)
+            self._eng.call_at(token, make_resolved(coord, shard, token,
+                                                   fn, args))
         else:
-            coord.send(cur, shard, token, _resolved, (), checked=False)
+            coord.send_resolve(cur, shard, token, fn, args)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"EngineView(shard={self.shard}, now={self._eng.now})"
+
+
+def make_resolved(coord: "ShardedEngine", shard: int, token: float,
+                  fn: Callable, args: tuple) -> Callable:
+    """The barrier-clearing callback of one expect/resolve exchange:
+    asserts the response matches the shard's earliest outstanding
+    expect, pops it, then runs the response body.  Built on the shard
+    that registered the expect — under the process backend that means
+    on the *receiving* side of a resolve envelope (sim/procshard.py),
+    since a closure cannot cross a process boundary."""
+    def _resolved() -> None:
+        exps = coord._expects[shard]
+        if not exps or exps[0] != token:
+            raise SimulationError(
+                f"shard {shard}: response at t={token} does not match "
+                f"earliest expect "
+                f"({exps[0] if exps else 'none'})")
+        heapq.heappop(exps)
+        fn(*args)
+    return _resolved
 
 
 def shard_route(src_engine, dst_engine):
@@ -280,6 +339,10 @@ class ShardedEngine:
     :class:`EngineView` instead.
     """
 
+    #: Facade class handed to model objects; the process backend swaps
+    #: in a subclass that guards driver-side foreign scheduling.
+    VIEW_CLS = EngineView
+
     def __init__(self, nshards: int, backend: str = "serial"):
         if nshards < 1:
             raise SimulationError(f"need >= 1 shard, got {nshards}")
@@ -288,7 +351,8 @@ class ShardedEngine:
         self.nshards = nshards
         self.backend = backend
         self.shards = [Engine() for _ in range(nshards)]
-        self.views = [EngineView(self, s) for s in range(nshards)]
+        view_cls = type(self).VIEW_CLS
+        self.views = [view_cls(self, s) for s in range(nshards)]
         # Directed channels: (src, dst) -> FIFO of heap entries.
         self._channels: dict[tuple[int, int], Any] = {}
         self._chan_seq: dict[tuple[int, int], int] = {}
@@ -332,6 +396,17 @@ class ShardedEngine:
             self._lookahead[key] = la
             self._in_la[dst] = [(s, la if s == src else v)
                                 for s, v in self._in_la[dst]]
+
+    def register_endpoint(self, key: str, obj: Any) -> None:
+        """Name a model object whose bound methods may ride cross-shard
+        envelopes.  The in-process backends pass callables by reference,
+        so this is a no-op here; the process backend (sim/procshard.py)
+        overrides it to build the wire-encoding registry."""
+
+    def shard_pid(self, shard: int) -> int:
+        """OS pid executing ``shard``'s heap (this process for the
+        in-process backends)."""
+        return os.getpid()
 
     # -- engine-compatible surface --------------------------------------
 
@@ -400,6 +475,14 @@ class ShardedEngine:
         self._chan_seq[key] = seq + 1
         self._channels[key].append(
             (t, _ENV_BASE + src * _ENV_STRIDE + seq, fn, args))
+
+    def send_resolve(self, src: int, dst: int, token: float, fn: Callable,
+                     args: tuple) -> None:
+        """Route a response envelope (see :meth:`EngineView.resolve`).
+        In-process, the barrier-clearing closure travels directly; the
+        process backend overrides this with a wire-encodable form."""
+        self.send(src, dst, token, make_resolved(self, dst, token, fn, args),
+                  (), checked=False)
 
     def _absorb(self, s: int) -> None:
         heap = self.shards[s]._heap
@@ -486,10 +569,7 @@ class ShardedEngine:
             # concurrency; keep traced runs on the deterministic path.
             backend = "serial"
         try:
-            if backend == "thread":
-                self._run_threaded(until, max_events)
-            else:
-                self._run_serial(until, max_events)
+            self._dispatch(backend, until, max_events)
         finally:
             self._running = False
             end = max(e.now for e in self.shards)
@@ -511,6 +591,15 @@ class ShardedEngine:
                     if self._stall_wall[s]:
                         _M.count(f"tc_shard_sync_stall_ns_total|shard={s}",
                                  end, self._stall_wall[s], stable=False)
+
+    def _dispatch(self, backend: str, until: float | None,
+                  max_events: int) -> None:
+        """Run one window protocol pass under ``backend`` (the process
+        subclass overrides this to drive its worker pool)."""
+        if backend == "thread":
+            self._run_threaded(until, max_events)
+        else:
+            self._run_serial(until, max_events)
 
     def _run_serial(self, until: float | None, max_events: int) -> None:
         n = self.nshards
@@ -662,3 +751,14 @@ class ShardedEngine:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"ShardedEngine(shards={self.nshards}, "
                 f"backend={self.backend!r}, now={self.now})")
+
+
+def make_coordinator(nshards: int, backend: str = "serial") -> ShardedEngine:
+    """Build the coordinator for a sharded world.  ``serial``/``thread``
+    share one in-process class; ``process`` swaps in the worker-backed
+    subclass (imported lazily so the hot single-process path never pays
+    for it)."""
+    if backend == "process":
+        from .procshard import ProcShardedEngine
+        return ProcShardedEngine(nshards, backend)
+    return ShardedEngine(nshards, backend)

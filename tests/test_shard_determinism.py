@@ -19,12 +19,17 @@ move.  Three contracts are pinned here:
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
 from repro.bench.figures import full_registry
 from repro.bench.orchestrator import run_figures
-from repro.core.stdworld import SETUP_CACHE
+from repro.core.stdworld import SETUP_CACHE, make_world
+from repro.core.worldproxy import ProcWorldCheckpoint, WorldProxy
+from repro.errors import SimulationError
+from repro.machine import PROT_RW
+from repro.rdma import Access
 from repro.sim import shard as _shard
 
 CHAIN_FIGS = ["figchain", "figchain_mcast"]
@@ -35,8 +40,10 @@ def _isolated_policy_and_cache():
     SETUP_CACHE.enabled = False
     SETUP_CACHE.clear()
     saved = _shard.get_policy()
+    saved_jobs = _shard.get_active_jobs()
     yield
     _shard.set_policy(*saved)
+    _shard.set_active_jobs(saved_jobs)
     SETUP_CACHE.enabled = False
     SETUP_CACHE.clear()
 
@@ -70,6 +77,28 @@ def test_chain_rows_identical_under_thread_backend():
     assert _chain_rows(shards=3, backend="thread") == base
 
 
+def _chain_rows_and_metrics(shards, backend="serial"):
+    """Rows plus the per-figure stable-metrics snapshot: the process
+    backend merges worker-local registries back at round end and both
+    must be byte-identical to the single-heap run."""
+    runs = run_figures(CHAIN_FIGS, fast=True, smoke=False, jobs=1,
+                       store=None, shards=shards, shard_backend=backend,
+                       metrics=True)
+    rows = {r.spec.name: json.dumps([p.row for p in r.points],
+                                    sort_keys=True)
+            for r in runs}
+    mets = {r.spec.name: json.dumps(r.metrics_snapshot, sort_keys=True)
+            for r in runs}
+    return rows, mets
+
+
+def test_chain_rows_and_metrics_identical_under_process_backend():
+    base = _chain_rows_and_metrics(shards=1)
+    assert base[1] and all(json.loads(m) for m in base[1].values())
+    assert _chain_rows_and_metrics(2, backend="process") == base
+    assert _chain_rows_and_metrics(4, backend="process") == base
+
+
 def test_full_registry_smoke_identical_under_shard_policy():
     # Non-shardable specs force --shards 1 (FigureSpec.shardable); the
     # chain specs actually shard.  Either way, rows must not move.
@@ -77,6 +106,8 @@ def test_full_registry_smoke_identical_under_shard_policy():
     sharded = _rows(None, shards=4, shard_backend="serial")
     assert sorted(sharded) == sorted(base)
     assert sharded == base
+    procd = _rows(None, shards=4, shard_backend="process")
+    assert procd == base
 
 
 def _point_row(spec, params):
@@ -84,11 +115,12 @@ def _point_row(spec, params):
     return json.dumps(spec.point(**params), sort_keys=True)
 
 
+@pytest.mark.parametrize("backend", ["serial", "process"])
 @pytest.mark.parametrize("name", CHAIN_FIGS)
-def test_forked_sharded_world_rows_match_fresh(name):
+def test_forked_sharded_world_rows_match_fresh(name, backend):
     spec = full_registry()[name]
     params = spec.points(True)[1]  # k=2 -> 3-node world, 3 shards
-    with _shard.scoped_policy(3, "serial"):
+    with _shard.scoped_policy(3, backend):
         fresh = _point_row(spec, params)
         SETUP_CACHE.enabled = True
         SETUP_CACHE.clear()
@@ -98,3 +130,130 @@ def test_forked_sharded_world_rows_match_fresh(name):
     assert first == fresh
     assert forked == fresh
     assert hits == misses  # second run forked every world
+
+
+# ---------------------------------------------------------------------------
+# process backend: lifecycle, RPC surface, crash propagation, policy
+# ---------------------------------------------------------------------------
+
+def _proc_world():
+    """A two-node world on two process shards, plus a put driver that
+    posts inside a run (cross-shard work originates in-run, where it
+    rides the envelope codec — the supported pattern)."""
+    w = make_world()
+    bed = w.bed
+    src = bed.node0.map_region(64, PROT_RW)
+    dst = bed.node1.map_region(64, PROT_RW)
+    mr = bed.hca1.register_memory(dst, 64,
+                                  Access.REMOTE_READ | Access.REMOTE_WRITE)
+
+    def put_once(payload: bytes) -> None:
+        bed.node0.mem.write(src, payload)
+
+        def proc():
+            comp = bed.qp01.post_put(bed.engine.now, src, dst, 64, mr.rkey)
+            yield comp.event
+
+        bed.engine.run_process(proc(), name="put")
+
+    return w, dst, put_once
+
+
+def test_worker_resident_snapshot_restores_and_replays():
+    with _shard.scoped_policy(2, "process"):
+        w, dst, put_once = _proc_world()
+        assert isinstance(w, WorldProxy)
+        eng = w.bed.engine
+        put_once(b"A" * 64)                  # first run forks the workers
+        assert eng._workers
+        assert w.read_mem(1, dst, 64) == b"A" * 64
+        cp = w.snapshot()                    # workers live: resident snaps
+        assert isinstance(cp, ProcWorldCheckpoint)
+        t_mark = eng.now
+        put_once(b"B" * 64)
+        t_replay = eng.now - t_mark
+        assert w.read_mem(1, dst, 64) == b"B" * 64
+        w.restore(cp)
+        assert w.read_mem(1, dst, 64) == b"A" * 64
+        assert eng.now == t_mark
+        put_once(b"B" * 64)                  # replay measures identically
+        assert eng.now - t_mark == t_replay
+        assert w.read_mem(1, dst, 64) == b"B" * 64
+        eng.kill_workers()
+
+
+def test_worker_resident_snapshot_dies_with_workers():
+    with _shard.scoped_policy(2, "process"):
+        w, dst, put_once = _proc_world()
+        eng = w.bed.engine
+        plain = w.snapshot()                 # pre-fork: plain checkpoint
+        assert not isinstance(plain, ProcWorldCheckpoint)
+        put_once(b"A" * 64)
+        cp = w.snapshot()
+        assert isinstance(cp, ProcWorldCheckpoint)
+        w.restore(plain)                     # retires the workers
+        assert not eng._workers
+        with pytest.raises(SimulationError, match="outlived"):
+            w.restore(cp)
+
+
+def test_worker_crash_propagates_original_traceback():
+    with _shard.scoped_policy(2, "process"):
+        w, dst, put_once = _proc_world()
+        eng = w.bed.engine
+
+        def boom():
+            raise SimulationError("injected worker fault xyzzy")
+
+        # Pre-fork schedule onto the worker shard: the fault fires
+        # inside the worker process mid-run.
+        w.bed.node1.engine.call_at(10.0, boom)
+        with pytest.raises(SimulationError) as ei:
+            eng.run()
+        msg = str(ei.value)
+        assert "injected worker fault xyzzy" in msg
+        assert "worker traceback" in msg
+        assert "in boom" in msg            # the worker's own stack, verbatim
+        assert not eng._workers            # retired, not wedged
+
+
+def test_driver_side_foreign_schedule_is_guarded_with_live_workers():
+    with _shard.scoped_policy(2, "process"):
+        w, dst, put_once = _proc_world()
+        eng = w.bed.engine
+        put_once(b"A" * 64)
+        assert eng._workers
+        with pytest.raises(SimulationError, match="WorldProxy RPC surface"):
+            w.bed.node1.engine.call_at(eng.now + 1.0, lambda: None)
+        eng.kill_workers()
+
+
+def test_run_stats_label_process_shard_rows_by_worker_pid():
+    _shard.RUN_STATS.reset()
+    with _shard.scoped_policy(2, "process"):
+        w, dst, put_once = _proc_world()
+        eng = w.bed.engine
+        put_once(b"A" * 64)
+        worker_pid = eng._worker_pids[1]
+        eng.kill_workers()
+    stats = _shard.RUN_STATS.snapshot()
+    assert stats[0]["pid"] == os.getpid()
+    assert stats[1]["pid"] == worker_pid != os.getpid()
+
+
+def test_shards_auto_policy_is_container_and_jobs_aware(monkeypatch):
+    monkeypatch.setattr(_shard, "available_cpus", lambda: 8)
+    _shard.set_policy("auto", "process")
+    _shard.set_active_jobs(1)
+    assert _shard.resolve_shards("auto", 64) == 8
+    assert _shard.resolve_shards("auto", 3) == 3     # node-count cap
+    _shard.set_active_jobs(4)
+    assert _shard.resolve_shards("auto", 64) == 2    # 8 cpus / 4 jobs
+    # Explicit counts: capped only where oversubscription multiplies
+    # (process workers under a wide pool); thread/serial are GIL-bound.
+    assert _shard.resolve_shards(8, 64) == 2
+    _shard.set_policy(8, "thread")
+    assert _shard.resolve_shards(8, 64) == 8
+    _shard.set_active_jobs(16)
+    _shard.set_policy("auto", "process")
+    assert _shard.resolve_shards("auto", 64) == 1    # floor of 1
